@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic workload suite.
+//
+// Examples:
+//
+//	experiments -exp all                 # everything, default scale
+//	experiments -exp fig15 -v            # one figure with progress output
+//	experiments -exp fig9,fig15 -quick   # reduced scale
+//	experiments -exp all -full -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"morrigan"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' (see -list)")
+		quick   = flag.Bool("quick", false, "reduced scale (benchmark-sized)")
+		full    = flag.Bool("full", false, "paper-scale methodology (slow)")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure = flag.Uint64("measure", 0, "override measured instructions per run")
+		out     = flag.String("out", "", "write results to a file instead of stdout")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range morrigan.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := morrigan.DefaultExperimentOptions()
+	if *quick {
+		opt = morrigan.QuickExperimentOptions()
+	}
+	if *full {
+		opt = morrigan.FullExperimentOptions()
+	}
+	if *warmup > 0 {
+		opt.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opt.Measure = *measure
+	}
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := morrigan.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	fmt.Fprintf(w, "Morrigan reproduction experiments (warmup %d, measure %d instructions per run)\n\n",
+		opt.Warmup, opt.Measure)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := morrigan.RunExperiment(id, opt)
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		tab.Render(w)
+		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

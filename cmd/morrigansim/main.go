@@ -1,0 +1,181 @@
+// Command morrigansim runs one workload through the simulator under a
+// chosen iSTLB-prefetching configuration and prints the measurement
+// snapshot.
+//
+// Examples:
+//
+//	morrigansim -workload qmm-srv-07 -prefetcher morrigan
+//	morrigansim -workload qmm-srv-07 -prefetcher none -perfect
+//	morrigansim -workload qmm-srv-03 -smt qmm-srv-19 -prefetcher morrigan2x
+//	morrigansim -workload cassandra -icache fnlmma -icache-tlb-cost
+//	morrigansim -trace trace.mgt -prefetcher sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"morrigan"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "qmm-srv-01", "built-in workload name (see -list)")
+		traceFile = flag.String("trace", "", "trace file to execute instead of a built-in workload")
+		smt       = flag.String("smt", "", "colocate a second workload on an SMT thread")
+		pf        = flag.String("prefetcher", "none", "iSTLB prefetcher: none|sp|asp|dp|mp|mp2inf|mpinf|morrigan|morrigan2x|mono")
+		icachePf  = flag.String("icache", "nextline", "I-cache prefetcher: nextline|fnlmma|epi|djolt")
+		icacheTLB = flag.Bool("icache-tlb-cost", false, "charge address translation for page-crossing I-cache prefetches")
+		perfect   = flag.Bool("perfect", false, "perfect iSTLB (all instruction lookups hit)")
+		p2tlb     = flag.Bool("p2tlb", false, "prefetch directly into the STLB instead of the PB")
+		asap      = flag.Bool("asap", false, "enable ASAP-style parallel page walks")
+		stlb      = flag.Int("stlb", 1536, "STLB entries")
+		pb        = flag.Int("pb", 64, "prefetch buffer entries")
+		warmup    = flag.Uint64("warmup", 1_000_000, "warmup instructions")
+		measure   = flag.Uint64("measure", 5_000_000, "measured instructions")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for _, w := range morrigan.QMMWorkloads() {
+			names = append(names, w.Name)
+		}
+		for _, w := range morrigan.SPECWorkloads() {
+			names = append(names, w.Name)
+		}
+		for _, w := range morrigan.JavaWorkloads() {
+			names = append(names, w.Name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := morrigan.DefaultConfig()
+	cfg.PerfectISTLB = *perfect
+	cfg.PrefetchIntoSTLB = *p2tlb
+	cfg.Walker.ASAP = *asap
+	cfg.STLBEntries = *stlb
+	cfg.PBEntries = *pb
+	cfg.ICacheTLBCost = *icacheTLB
+
+	switch *pf {
+	case "none":
+	case "sp":
+		cfg.Prefetcher = morrigan.NewSP()
+	case "asp":
+		cfg.Prefetcher = morrigan.NewASP(440)
+	case "dp":
+		cfg.Prefetcher = morrigan.NewDP(648)
+	case "mp":
+		cfg.Prefetcher = morrigan.NewMP(128, 4)
+	case "mp2inf":
+		cfg.Prefetcher = morrigan.NewUnboundedMP(2)
+	case "mpinf":
+		cfg.Prefetcher = morrigan.NewUnboundedMP(0)
+	case "morrigan":
+		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.DefaultPrefetcherConfig())
+	case "morrigan2x":
+		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.ScaledPrefetcherConfig(2))
+	case "mono":
+		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.MonoPrefetcherConfig())
+	default:
+		fatal("unknown prefetcher %q", *pf)
+	}
+
+	switch *icachePf {
+	case "nextline":
+	case "fnlmma":
+		cfg.ICachePrefetcher = morrigan.NewFNLMMA()
+	case "epi":
+		cfg.ICachePrefetcher = morrigan.NewEPI()
+	case "djolt":
+		cfg.ICachePrefetcher = morrigan.NewDJolt()
+	default:
+		fatal("unknown I-cache prefetcher %q", *icachePf)
+	}
+
+	threads, label := buildThreads(*workload, *traceFile, *smt)
+	s, err := morrigan.NewSimulator(cfg, threads)
+	if err != nil {
+		fatal("%v", err)
+	}
+	st, err := s.Run(*warmup, *measure)
+	if err != nil {
+		fatal("%v", err)
+	}
+	printStats(label, *pf, st)
+}
+
+func buildThreads(workload, traceFile, smt string) ([]morrigan.ThreadSpec, string) {
+	var threads []morrigan.ThreadSpec
+	label := workload
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		r, err := morrigan.NewTraceFileReader(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+		threads = append(threads, morrigan.ThreadSpec{Reader: r})
+		label = traceFile
+	} else {
+		w, ok := morrigan.WorkloadByName(workload)
+		if !ok {
+			fatal("unknown workload %q (use -list)", workload)
+		}
+		threads = append(threads, morrigan.ThreadSpec{Reader: w.NewReader()})
+	}
+	if smt != "" {
+		w, ok := morrigan.WorkloadByName(smt)
+		if !ok {
+			fatal("unknown SMT workload %q", smt)
+		}
+		threads = append(threads, morrigan.ThreadSpec{Reader: w.NewReader(), VAOffset: 1 << 40})
+		label += "+" + smt
+	}
+	return threads, label
+}
+
+func printStats(label, pf string, st morrigan.Stats) {
+	fmt.Printf("workload        %s\n", label)
+	fmt.Printf("prefetcher      %s\n", pf)
+	fmt.Printf("instructions    %d\n", st.Instructions)
+	fmt.Printf("cycles          %d\n", st.Cycles)
+	fmt.Printf("IPC             %.3f\n", st.IPC)
+	fmt.Printf("L1I MPKI        %.3f\n", st.L1IMPKI)
+	fmt.Printf("I-TLB MPKI      %.3f\n", st.ITLBMPKI)
+	fmt.Printf("iSTLB MPKI      %.3f\n", st.ISTLBMPKI)
+	fmt.Printf("dSTLB MPKI      %.3f\n", st.DSTLBMPKI)
+	fmt.Printf("translation %%   %.2f%%\n", st.TranslationCyclePct)
+	fmt.Printf("iSTLB misses    %d (PB hits %d)\n", st.ISTLBMisses, st.PBHits)
+	fmt.Printf("demand iWalks   %d (refs %d, avg lat %.1f)\n", st.DemandIWalks, st.DemandIWalkRefs, st.AvgIWalkLatency)
+	fmt.Printf("demand dWalks   %d (refs %d, avg lat %.1f)\n", st.DemandDWalks, st.DemandDWalkRefs, st.AvgDWalkLatency)
+	fmt.Printf("prefetch walks  %d (refs %d, dropped %d)\n", st.PrefetchWalks, st.PrefetchRefs, st.DroppedWalks)
+	fmt.Printf("refs per walk   %.2f\n", st.RefsPerWalk)
+	fmt.Printf("PSC hit rate    %.3f\n", st.PSCHitRate)
+	if st.PrefetchesIssued > 0 {
+		fmt.Printf("prefetches      %d issued, %d discarded, %d free PTEs\n",
+			st.PrefetchesIssued, st.PrefetchesDiscarded, st.FreePTEsInstalled)
+	}
+	if st.IRIPHits+st.SDPHits > 0 {
+		fmt.Printf("module hits     IRIP %d, SDP %d\n", st.IRIPHits, st.SDPHits)
+	}
+	if st.ICacheXPagePrefetches > 0 {
+		fmt.Printf("icache x-page   %d prefetches, %d walks, %d PB hits\n",
+			st.ICacheXPagePrefetches, st.ICacheXPageWalks, st.ICachePBHits)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "morrigansim: "+format+"\n", args...)
+	os.Exit(1)
+}

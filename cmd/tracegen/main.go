@@ -1,0 +1,80 @@
+// Command tracegen materialises a synthetic workload into a trace file that
+// morrigansim (and any trace.Reader consumer) can replay.
+//
+// Example:
+//
+//	tracegen -workload qmm-srv-07 -n 10000000 -o srv07.mgt.gz -compress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morrigan"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "qmm-srv-01", "built-in workload name")
+		params   = flag.String("params", "", "JSON file defining a custom workload (overrides -workload)")
+		n        = flag.Uint64("n", 10_000_000, "instructions to emit")
+		out      = flag.String("o", "", "output file (required)")
+		compress = flag.Bool("compress", false, "gzip the trace")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal("missing -o output file")
+	}
+	var w morrigan.Workload
+	if *params != "" {
+		pf, err := os.Open(*params)
+		if err != nil {
+			fatal("%v", err)
+		}
+		w, err = morrigan.LoadWorkloadSpec(pf)
+		pf.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		var ok bool
+		w, ok = morrigan.WorkloadByName(*workload)
+		if !ok {
+			fatal("unknown workload %q", *workload)
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	tw, err := morrigan.NewTraceWriter(f, *compress)
+	if err != nil {
+		fatal("%v", err)
+	}
+	gen := w.NewReader()
+	var rec morrigan.TraceRecord
+	for i := uint64(0); i < *n; i++ {
+		if err := gen.Next(&rec); err != nil {
+			fatal("generating: %v", err)
+		}
+		if err := tw.Write(&rec); err != nil {
+			fatal("writing: %v", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		fatal("%v", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s (%.1f MB, %.2f bytes/instr)\n",
+		*n, w.Name, *out, float64(info.Size())/1e6, float64(info.Size())/float64(*n))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command traceinfo inspects a trace file: instruction counts, memory
+// operation mix, code/data footprints and page-transition statistics.
+//
+// Example:
+//
+//	traceinfo srv07.mgt.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"morrigan"
+	"morrigan/internal/arch"
+	"morrigan/internal/stats"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	r, err := morrigan.NewTraceFileReader(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var (
+		rec         morrigan.TraceRecord
+		n           uint64
+		loads       uint64
+		stores      uint64
+		transitions uint64
+		prevPage    arch.VPN
+		codePages   = map[arch.VPN]bool{}
+		dataPages   = map[arch.VPN]bool{}
+		pageFreq    = stats.NewPageFrequency()
+	)
+	for {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal("reading record %d: %v", n, err)
+		}
+		vpn := rec.PC.Page()
+		codePages[vpn] = true
+		if n > 0 && vpn != prevPage {
+			transitions++
+			pageFreq.Observe(uint64(vpn))
+		}
+		prevPage = vpn
+		if rec.HasLoad() {
+			loads++
+			dataPages[rec.Load.Page()] = true
+		}
+		if rec.HasStore() {
+			stores++
+			dataPages[rec.Store.Page()] = true
+		}
+		n++
+	}
+	if n == 0 {
+		fatal("empty trace")
+	}
+	fmt.Printf("instructions      %d\n", n)
+	fmt.Printf("loads             %d (%.1f%%)\n", loads, float64(loads)/float64(n)*100)
+	fmt.Printf("stores            %d (%.1f%%)\n", stores, float64(stores)/float64(n)*100)
+	fmt.Printf("code pages        %d (%.1f MB)\n", len(codePages), float64(len(codePages)*arch.PageSize)/1e6)
+	fmt.Printf("data pages        %d (%.1f MB)\n", len(dataPages), float64(len(dataPages)*arch.PageSize)/1e6)
+	fmt.Printf("page transitions  %d (every %.1f instructions)\n", transitions, float64(n)/float64(transitions+1))
+	fmt.Printf("pages for 90%% of transitions: %d\n", pageFreq.PagesForCoverage(90))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package morrigan
+
+import (
+	"fmt"
+	"io"
+
+	"morrigan/internal/experiments"
+	"morrigan/internal/trace"
+	"morrigan/internal/workloads"
+)
+
+// Experiment harness types.
+type (
+	// ExperimentOptions scales an experiment run.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+)
+
+// Experiment option presets.
+var (
+	// DefaultExperimentOptions finishes in minutes on one core.
+	DefaultExperimentOptions = experiments.DefaultOptions
+	// QuickExperimentOptions is for benchmarks and smoke tests.
+	QuickExperimentOptions = experiments.QuickOptions
+	// FullExperimentOptions approaches the paper's methodology.
+	FullExperimentOptions = experiments.FullOptions
+)
+
+// ExperimentIDs lists the reproducible tables and figures in paper order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experiments.Order))
+	copy(out, experiments.Order)
+	return out
+}
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	fn, ok := experiments.Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("morrigan: unknown experiment %q (see ExperimentIDs)", id)
+	}
+	return fn(opt)
+}
+
+// Trace file I/O.
+
+// NewTraceWriter serialises records to the binary trace format; Close must
+// be called to flush. Set compress for gzip output.
+func NewTraceWriter(w io.Writer, compress bool) (*trace.Writer, error) {
+	return trace.NewWriter(w, compress)
+}
+
+// NewTraceFileReader decodes a trace file written by NewTraceWriter,
+// transparently handling gzip.
+func NewTraceFileReader(r io.Reader) (TraceReader, error) {
+	return trace.NewFileReader(r)
+}
+
+// LimitTrace caps a trace at n records (it then reports io.EOF).
+func LimitTrace(r TraceReader, n uint64) TraceReader { return trace.Limit(r, n) }
+
+// LoadWorkloadSpec parses a user-defined workload from its JSON form (see
+// the workloads package documentation for the schema).
+func LoadWorkloadSpec(r io.Reader) (Workload, error) { return workloads.LoadSpec(r) }
+
+// SaveWorkloadSpec serialises a workload spec as JSON readable by
+// LoadWorkloadSpec.
+func SaveWorkloadSpec(w io.Writer, spec Workload) error { return workloads.SaveSpec(w, spec) }

@@ -1,0 +1,3 @@
+module morrigan
+
+go 1.22

@@ -1,0 +1,134 @@
+// Package arch defines the architectural primitives shared by every
+// component of the simulator: virtual and physical addresses, page and cache
+// line geometry, and the x86-64 4-level radix page table index split.
+//
+// The simulator models a classic x86-64 virtual memory layout: 4 KB base
+// pages, 64-byte cache lines, 8-byte page table entries (so one cache line
+// holds 8 contiguously-stored PTEs — the "page table locality" the paper's
+// spatial prefetching exploits), and a 4-level radix page table whose levels
+// are indexed by 9-bit slices of the virtual page number.
+package arch
+
+// Address and page geometry constants for x86-64 with 4 KB pages.
+const (
+	// PageShift is log2 of the base page size.
+	PageShift = 12
+	// PageSize is the base page size in bytes (4 KB).
+	PageSize = 1 << PageShift
+	// PageOffsetMask extracts the in-page offset from an address.
+	PageOffsetMask = PageSize - 1
+
+	// LineShift is log2 of the cache line size.
+	LineShift = 6
+	// LineSize is the cache line size in bytes.
+	LineSize = 1 << LineShift
+
+	// PTESize is the size of one page table entry in bytes.
+	PTESize = 8
+	// PTEsPerLine is how many PTEs share one cache line (64/8 = 8).
+	PTEsPerLine = LineSize / PTESize
+	// PTEsPerPage is how many PTEs one page table page holds (512).
+	PTEsPerPage = PageSize / PTESize
+
+	// RadixLevels is the number of page table levels in the default x86-64
+	// configuration (PML4, PDP, PD, PT).
+	RadixLevels = 4
+	// MaxRadixLevels accommodates 5-level paging (PML5).
+	MaxRadixLevels = 5
+	// RadixBits is the number of VPN bits consumed per radix level.
+	RadixBits = 9
+	// RadixFanout is the number of entries per page table node (512).
+	RadixFanout = 1 << RadixBits
+
+	// VPNBits is the number of significant virtual page number bits
+	// (48-bit canonical virtual addresses minus the 12-bit page offset).
+	VPNBits = 36
+)
+
+// VAddr is a virtual byte address.
+type VAddr uint64
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// VPN is a virtual page number (virtual address >> PageShift).
+type VPN uint64
+
+// PFN is a physical frame number (physical address >> PageShift).
+type PFN uint64
+
+// Page returns the virtual page number containing v.
+func (v VAddr) Page() VPN { return VPN(v >> PageShift) }
+
+// Offset returns the in-page byte offset of v.
+func (v VAddr) Offset() uint64 { return uint64(v) & PageOffsetMask }
+
+// Line returns the cache line number containing v (virtual line address).
+func (v VAddr) Line() uint64 { return uint64(v) >> LineShift }
+
+// Line returns the cache line number containing p (physical line address).
+func (p PAddr) Line() uint64 { return uint64(p) >> LineShift }
+
+// Page returns the physical frame number containing p.
+func (p PAddr) Page() PFN { return PFN(p >> PageShift) }
+
+// Addr returns the base virtual address of the page.
+func (n VPN) Addr() VAddr { return VAddr(n) << PageShift }
+
+// Addr returns the base physical address of the frame.
+func (f PFN) Addr() PAddr { return PAddr(f) << PageShift }
+
+// LineGroup returns the group of PTEsPerLine consecutive VPNs whose leaf
+// PTEs share one cache line with n's PTE. The returned value is the first
+// VPN of the group; the group spans [base, base+PTEsPerLine).
+func (n VPN) LineGroup() VPN { return n &^ (PTEsPerLine - 1) }
+
+// RadixIndex returns the page-table index of the VPN at the given level.
+// Level 0 is the root (PML4) and level RadixLevels-1 is the leaf (PT).
+func (n VPN) RadixIndex(level int) uint64 {
+	shift := uint((RadixLevels - 1 - level) * RadixBits)
+	return (uint64(n) >> shift) & (RadixFanout - 1)
+}
+
+// Translate combines a physical frame with the page offset of a virtual
+// address to produce the physical address of the access.
+func Translate(f PFN, v VAddr) PAddr {
+	return f.Addr() | PAddr(v.Offset())
+}
+
+// Level names the memory hierarchy level that served an access.
+type Level int
+
+// Memory hierarchy levels in increasing distance from the core.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+	numLevels
+)
+
+// NumLevels is the number of distinct memory hierarchy levels.
+const NumLevels = int(numLevels)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	}
+	return "invalid"
+}
+
+// Cycle is a simulation timestamp in core clock cycles.
+type Cycle uint64
+
+// ThreadID identifies a hardware thread (SMT context). The simulator
+// supports up to two threads per core, per the paper's SMT study.
+type ThreadID uint8

@@ -1,0 +1,123 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if LineSize != 64 {
+		t.Fatalf("LineSize = %d, want 64", LineSize)
+	}
+	if PTEsPerLine != 8 {
+		t.Fatalf("PTEsPerLine = %d, want 8", PTEsPerLine)
+	}
+	if PTEsPerPage != 512 {
+		t.Fatalf("PTEsPerPage = %d, want 512", PTEsPerPage)
+	}
+	if RadixFanout != 512 {
+		t.Fatalf("RadixFanout = %d, want 512", RadixFanout)
+	}
+}
+
+func TestVAddrPageOffset(t *testing.T) {
+	v := VAddr(0x7f32_1234_5678)
+	if got := v.Page(); got != VPN(0x7f32_1234_5678>>12) {
+		t.Errorf("Page() = %#x", got)
+	}
+	if got := v.Offset(); got != 0x678 {
+		t.Errorf("Offset() = %#x, want 0x678", got)
+	}
+	if got := v.Line(); got != 0x7f32_1234_5678>>6 {
+		t.Errorf("Line() = %#x", got)
+	}
+}
+
+func TestVPNAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		n := VPN(raw & ((1 << VPNBits) - 1))
+		return n.Addr().Page() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixIndexReassembles(t *testing.T) {
+	f := func(raw uint64) bool {
+		n := VPN(raw & ((1 << VPNBits) - 1))
+		var back uint64
+		for level := 0; level < RadixLevels; level++ {
+			back = back<<RadixBits | n.RadixIndex(level)
+		}
+		return VPN(back) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadixIndexLevels(t *testing.T) {
+	// VPN with a distinct 9-bit value in each level slice.
+	n := VPN(1<<27 | 2<<18 | 3<<9 | 4)
+	want := []uint64{1, 2, 3, 4}
+	for level, w := range want {
+		if got := n.RadixIndex(level); got != w {
+			t.Errorf("RadixIndex(%d) = %d, want %d", level, got, w)
+		}
+	}
+}
+
+func TestLineGroup(t *testing.T) {
+	for _, tc := range []struct {
+		vpn, want VPN
+	}{
+		{0xA7, 0xA0},
+		{0xA8, 0xA8},
+		{0, 0},
+		{7, 0},
+		{8, 8},
+		{0xFFF, 0xFF8},
+	} {
+		if got := tc.vpn.LineGroup(); got != tc.want {
+			t.Errorf("LineGroup(%#x) = %#x, want %#x", tc.vpn, got, tc.want)
+		}
+	}
+}
+
+func TestLineGroupProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		n := VPN(raw & ((1 << VPNBits) - 1))
+		g := n.LineGroup()
+		// Base is aligned, contains n, and is stable under re-grouping.
+		return g%PTEsPerLine == 0 && g <= n && n < g+PTEsPerLine && g.LineGroup() == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	p := Translate(PFN(0x123), VAddr(0xABC_DEF))
+	if p != PAddr(0x123<<12|0xDEF) {
+		t.Fatalf("Translate = %#x", p)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{
+		LevelL1: "L1", LevelL2: "L2", LevelLLC: "LLC", LevelDRAM: "DRAM",
+		Level(99): "invalid",
+	}
+	for l, want := range names {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+	if NumLevels != 4 {
+		t.Errorf("NumLevels = %d, want 4", NumLevels)
+	}
+}

@@ -1,0 +1,115 @@
+// Package cache models the processor's cache hierarchy: set-associative
+// L1I/L1D/L2/LLC caches with LRU replacement and a fixed-latency DRAM behind
+// them, per Table 1 of the paper.
+//
+// The model is functional-plus-latency: an access updates cache state (fills
+// on miss at every level, LRU promotion on hit) and returns the total
+// latency and the level that served the request. There is no bandwidth or
+// MSHR-contention model; page-walker concurrency is modelled in the ptw
+// package and core-visible overlap in the cpu package. What matters for the
+// paper's results — where page-walk references are served, and how prefetch
+// walks perturb cache contents — is captured.
+package cache
+
+// Cache is one set-associative cache with LRU replacement, addressed by
+// physical line number.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lines    []line // sets*ways, row-major by set
+	tick     uint64
+	accesses uint64
+	misses   uint64
+}
+
+type line struct {
+	tag   uint64
+	used  uint64
+	valid bool
+}
+
+// NewCache constructs a cache of the given geometry. Sets must be a power of
+// two.
+func NewCache(name string, sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("cache: geometry must be positive with power-of-two sets")
+	}
+	return &Cache{
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		lines: make([]line, sets*ways),
+	}
+}
+
+// Entries returns the cache's capacity in lines.
+func (c *Cache) Entries() int { return c.sets * c.ways }
+
+func (c *Cache) set(lineAddr uint64) []line {
+	s := int(lineAddr) & (c.sets - 1)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes for the line, promoting it on hit, and reports the result.
+func (c *Cache) Lookup(lineAddr uint64) bool {
+	c.tick++
+	c.accesses++
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.tick
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without updating replacement or statistics.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	for _, l := range c.set(lineAddr) {
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line, evicting the LRU victim if the set is full. It
+// returns the evicted line address and whether an eviction happened.
+func (c *Cache) Insert(lineAddr uint64) (evicted uint64, wasEviction bool) {
+	c.tick++
+	set := c.set(lineAddr)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.tick // already present; refresh
+			return 0, false
+		}
+		if !set[i].valid {
+			victim = i
+			set[victim] = line{tag: lineAddr, used: c.tick, valid: true}
+			return 0, false
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	old := set[victim].tag
+	set[victim] = line{tag: lineAddr, used: c.tick, valid: true}
+	return old, true
+}
+
+// Accesses returns the number of Lookup calls since the last ResetStats.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of Lookup misses since the last ResetStats.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// ResetStats clears the access counters without touching contents (used at
+// the warmup/measurement boundary).
+func (c *Cache) ResetStats() { c.accesses, c.misses = 0, 0 }
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }

@@ -1,0 +1,286 @@
+package cache
+
+import "morrigan/internal/arch"
+
+// Kind distinguishes the request streams through the hierarchy, for
+// statistics and routing.
+type Kind int
+
+// Request streams.
+const (
+	KindFetch       Kind = iota // demand instruction fetch (L1I path)
+	KindLoad                    // demand data read (L1D path)
+	KindStore                   // demand data write (L1D path)
+	KindPTWDemand               // page-walk reference of a demand walk
+	KindPTWPrefetch             // page-walk reference of a prefetch walk
+	KindPrefetch                // cache prefetch fill traffic
+	numKinds
+)
+
+// NumKinds is the number of request streams.
+const NumKinds = int(numKinds)
+
+// String names the request stream.
+func (k Kind) String() string {
+	switch k {
+	case KindFetch:
+		return "fetch"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindPTWDemand:
+		return "ptw-demand"
+	case KindPTWPrefetch:
+		return "ptw-prefetch"
+	case KindPrefetch:
+		return "prefetch"
+	}
+	return "invalid"
+}
+
+// Result reports how an access was served.
+type Result struct {
+	// Latency is the total round-trip latency in cycles.
+	Latency arch.Cycle
+	// Level is the hierarchy level that supplied the data.
+	Level arch.Level
+}
+
+// Config sets the hierarchy geometry and latencies. Defaults mirror Table 1.
+type Config struct {
+	L1ISets, L1IWays int
+	L1DSets, L1DWays int
+	L2Sets, L2Ways   int
+	LLCSets, LLCWays int
+
+	L1Latency   arch.Cycle
+	L2Latency   arch.Cycle
+	LLCLatency  arch.Cycle
+	DRAMLatency arch.Cycle
+
+	// L2StridePrefetch enables the simple per-page stride prefetcher at L2
+	// standing in for the paper's SPP configuration.
+	L2StridePrefetch bool
+}
+
+// DefaultConfig mirrors Table 1: 32 KB 8-way L1s, 512 KB 8-way L2, 2 MB
+// 16-way LLC; 4/8/10-cycle latencies; DRAM latency representative of the
+// paper's DDR settings at a 4 GHz core.
+func DefaultConfig() Config {
+	return Config{
+		L1ISets: 64, L1IWays: 8, // 32 KB
+		L1DSets: 64, L1DWays: 8, // 32 KB
+		L2Sets: 1024, L2Ways: 8, // 512 KB
+		LLCSets: 2048, LLCWays: 16, // 2 MB
+		L1Latency:        4,
+		L2Latency:        8,
+		LLCLatency:       10,
+		DRAMLatency:      170,
+		L2StridePrefetch: true,
+	}
+}
+
+// Hierarchy is the full cache hierarchy plus DRAM.
+type Hierarchy struct {
+	L1I, L1D, L2, LLC *Cache
+	cfg               Config
+
+	l2pf *stridePrefetcher
+
+	// served[kind][level] counts accesses per stream per serving level.
+	served [numKinds][arch.NumLevels]uint64
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		L1I: NewCache("L1I", cfg.L1ISets, cfg.L1IWays),
+		L1D: NewCache("L1D", cfg.L1DSets, cfg.L1DWays),
+		L2:  NewCache("L2", cfg.L2Sets, cfg.L2Ways),
+		LLC: NewCache("LLC", cfg.LLCSets, cfg.LLCWays),
+		cfg: cfg,
+	}
+	if cfg.L2StridePrefetch {
+		h.l2pf = newStridePrefetcher(256)
+	}
+	return h
+}
+
+// l1For returns the first-level cache for a request stream. Page-walk
+// references go through the data path, as on real x86 walkers.
+func (h *Hierarchy) l1For(kind Kind) *Cache {
+	if kind == KindFetch {
+		return h.L1I
+	}
+	return h.L1D
+}
+
+// Access performs one demand access at the physical address, updating cache
+// state and statistics, and returns where and how fast it was served.
+func (h *Hierarchy) Access(kind Kind, addr arch.PAddr) Result {
+	lineAddr := addr.Line()
+	l1 := h.l1For(kind)
+
+	res := Result{Latency: h.cfg.L1Latency, Level: arch.LevelL1}
+	switch {
+	case l1.Lookup(lineAddr):
+		// Served by L1.
+	case h.L2.Lookup(lineAddr):
+		res = Result{Latency: h.cfg.L1Latency + h.cfg.L2Latency, Level: arch.LevelL2}
+		l1.Insert(lineAddr)
+	case h.LLC.Lookup(lineAddr):
+		res = Result{
+			Latency: h.cfg.L1Latency + h.cfg.L2Latency + h.cfg.LLCLatency,
+			Level:   arch.LevelLLC,
+		}
+		h.L2.Insert(lineAddr)
+		l1.Insert(lineAddr)
+	default:
+		res = Result{
+			Latency: h.cfg.L1Latency + h.cfg.L2Latency + h.cfg.LLCLatency + h.cfg.DRAMLatency,
+			Level:   arch.LevelDRAM,
+		}
+		h.LLC.Insert(lineAddr)
+		h.L2.Insert(lineAddr)
+		l1.Insert(lineAddr)
+	}
+	h.served[kind][res.Level]++
+
+	if h.l2pf != nil && (kind == KindLoad || kind == KindStore) {
+		if next, ok := h.l2pf.observe(addr); ok {
+			h.PrefetchInto(arch.LevelL2, next)
+		}
+	}
+	return res
+}
+
+// PrefetchInto fills a line into the given level (and below it, down to the
+// LLC) without charging demand latency; used by cache prefetchers. It
+// returns the level that supplied the data, from which callers can derive
+// the fill's completion time.
+func (h *Hierarchy) PrefetchInto(level arch.Level, addr arch.PAddr) arch.Level {
+	lineAddr := addr.Line()
+	served := arch.LevelDRAM
+	if h.L2.Contains(lineAddr) {
+		served = arch.LevelL2
+	} else if h.LLC.Contains(lineAddr) {
+		served = arch.LevelLLC
+	}
+	if served == arch.LevelL2 && level >= arch.LevelL2 {
+		return served
+	}
+	h.served[KindPrefetch][served]++
+	switch level {
+	case arch.LevelL1:
+		h.L1I.Insert(lineAddr)
+		fallthrough
+	case arch.LevelL2:
+		h.L2.Insert(lineAddr)
+		fallthrough
+	default:
+		h.LLC.Insert(lineAddr)
+	}
+	return served
+}
+
+// FillLatency returns the round-trip latency of a fill served by the given
+// level.
+func (h *Hierarchy) FillLatency(level arch.Level) arch.Cycle {
+	switch level {
+	case arch.LevelL1:
+		return h.cfg.L1Latency
+	case arch.LevelL2:
+		return h.cfg.L1Latency + h.cfg.L2Latency
+	case arch.LevelLLC:
+		return h.cfg.L1Latency + h.cfg.L2Latency + h.cfg.LLCLatency
+	default:
+		return h.cfg.L1Latency + h.cfg.L2Latency + h.cfg.LLCLatency + h.cfg.DRAMLatency
+	}
+}
+
+// ContainsLine reports whether any level below the L1s holds the line; used
+// by prefetchers to estimate timeliness.
+func (h *Hierarchy) ContainsLine(addr arch.PAddr) bool {
+	lineAddr := addr.Line()
+	return h.L2.Contains(lineAddr) || h.LLC.Contains(lineAddr)
+}
+
+// Served returns how many accesses of the given stream were served by the
+// given level since the last ResetStats.
+func (h *Hierarchy) Served(kind Kind, level arch.Level) uint64 {
+	return h.served[kind][level]
+}
+
+// ServedTotal returns the total accesses of the stream.
+func (h *Hierarchy) ServedTotal(kind Kind) uint64 {
+	var t uint64
+	for _, c := range h.served[kind] {
+		t += c
+	}
+	return t
+}
+
+// ResetStats clears all statistics, keeping contents (warmup boundary).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.LLC.ResetStats()
+	h.served = [numKinds][arch.NumLevels]uint64{}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// stridePrefetcher is a minimal per-page stride prefetcher standing in for
+// the paper's SPP at L2: it tracks the last offset and delta per data page
+// and prefetches the next line when a stride repeats.
+type stridePrefetcher struct {
+	entries map[arch.VPN]*strideEntry
+	cap     int
+}
+
+type strideEntry struct {
+	lastLine int64
+	delta    int64
+	conf     int
+}
+
+func newStridePrefetcher(capacity int) *stridePrefetcher {
+	return &stridePrefetcher{entries: make(map[arch.VPN]*strideEntry), cap: capacity}
+}
+
+// observe records a demand access and returns a prefetch address when the
+// stride is confident.
+func (p *stridePrefetcher) observe(addr arch.PAddr) (arch.PAddr, bool) {
+	page := arch.VPN(addr.Page()) // physical page used as the tracking key
+	lineInPage := int64(addr.Line())
+	e := p.entries[page]
+	if e == nil {
+		if len(p.entries) >= p.cap {
+			// Cheap wholesale reset; a real SPP ages entries, but the
+			// steady-state behaviour (recent pages tracked) is similar.
+			p.entries = make(map[arch.VPN]*strideEntry, p.cap)
+		}
+		p.entries[page] = &strideEntry{lastLine: lineInPage}
+		return 0, false
+	}
+	d := lineInPage - e.lastLine
+	if d == e.delta && d != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.delta = d
+	}
+	e.lastLine = lineInPage
+	if e.conf >= 2 {
+		// A negative target can wrap on a descending stride; the resulting
+		// fill is junk but harmless and deterministic, like a real
+		// prefetcher running off the start of a buffer.
+		return arch.PAddr(uint64(lineInPage+e.delta) << arch.LineShift), true
+	}
+	return 0, false
+}

@@ -1,0 +1,51 @@
+// Package core implements Morrigan, the paper's composite instruction TLB
+// prefetcher (Section 4): the Irregular Instruction TLB Prefetcher (IRIP) —
+// an ensemble of table-based Markov prefetchers (PRT-S1, PRT-S2, PRT-S4,
+// PRT-S8) that build variable-length Markov chains out of the iSTLB miss
+// stream, managed by the Random-Least-Frequently-Used (RLFU) replacement
+// policy over a periodically reset frequency stack — and the Small Delta
+// Prefetcher (SDP), an enhanced sequential prefetcher engaged when IRIP
+// cannot produce prefetches. Both modules exploit page table locality for
+// spatial prefetching.
+package core
+
+import "morrigan/internal/arch"
+
+// FrequencyStack tracks how often each virtual page missed in the
+// instruction STLB. It drives RLFU replacement decisions. To adapt to phase
+// changes, the stack is reset after every ResetInterval observations
+// (Section 4.1.1: "Morrigan periodically resets the frequency stack").
+type FrequencyStack struct {
+	counts   map[arch.VPN]uint32
+	interval uint64
+	observed uint64
+	resets   uint64
+}
+
+// NewFrequencyStack builds a stack that resets every interval observations;
+// interval 0 disables resets.
+func NewFrequencyStack(interval uint64) *FrequencyStack {
+	return &FrequencyStack{counts: make(map[arch.VPN]uint32), interval: interval}
+}
+
+// Observe records one iSTLB miss on vpn.
+func (f *FrequencyStack) Observe(vpn arch.VPN) {
+	f.observed++
+	if f.interval > 0 && f.observed%f.interval == 0 {
+		f.counts = make(map[arch.VPN]uint32, len(f.counts))
+		f.resets++
+	}
+	f.counts[vpn]++
+}
+
+// Freq returns vpn's miss count in the current interval.
+func (f *FrequencyStack) Freq(vpn arch.VPN) uint32 { return f.counts[vpn] }
+
+// Resets returns how many times the stack has been cleared.
+func (f *FrequencyStack) Resets() uint64 { return f.resets }
+
+// Flush clears the stack (context switch).
+func (f *FrequencyStack) Flush() {
+	f.counts = make(map[arch.VPN]uint32)
+	f.observed = 0
+}

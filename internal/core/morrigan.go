@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/tlbprefetch"
+)
+
+// Distance bounds for a prediction slot: distances are stored in 15 bits as
+// a signed value (Section 6.1); distances that do not fit are not recorded.
+const (
+	MaxDistance = 1<<(tlbprefetch.DistanceBits-1) - 1
+	MinDistance = -(1 << (tlbprefetch.DistanceBits - 1))
+)
+
+// maxConf is the saturation value of the 2-bit confidence counters.
+const maxConf = (1 << tlbprefetch.ConfBits) - 1
+
+// TableConfig sizes one prediction table of the IRIP ensemble.
+type TableConfig struct {
+	// Slots is the number of prediction slots per entry.
+	Slots int
+	// Entries is the table capacity.
+	Entries int
+	// Ways is the set associativity; Ways == Entries means fully
+	// associative.
+	Ways int
+}
+
+// Config parameterises Morrigan.
+type Config struct {
+	// Tables lists the IRIP prediction tables in increasing slot order.
+	// The default is the paper's empirically selected configuration
+	// (Section 6.1.3): PRT-S1/S2/S4 at 128 entries 32-way and PRT-S8 at 64
+	// entries 16-way, for a ~3.8 KB budget.
+	Tables []TableConfig
+	// Policy is the prediction tables' replacement policy.
+	Policy Policy
+	// RLFUCandidates is the size of RLFU's low-frequency victim pool.
+	RLFUCandidates int
+	// FreqResetInterval is the number of iSTLB misses between frequency
+	// stack resets (phase adaptation); 0 disables resets.
+	FreqResetInterval uint64
+	// SDP enables the Small Delta Prefetcher module.
+	SDP bool
+	// Spatial enables page-table-locality spatial prefetching (free
+	// line-neighbour PTEs for the highest-confidence IRIP prediction and
+	// for SDP prefetches).
+	Spatial bool
+	// Seed drives RLFU's randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's 3.76 KB Morrigan configuration.
+func DefaultConfig() Config {
+	return Config{
+		Tables: []TableConfig{
+			{Slots: 1, Entries: 128, Ways: 32},
+			{Slots: 2, Entries: 128, Ways: 32},
+			{Slots: 4, Entries: 128, Ways: 32},
+			{Slots: 8, Entries: 64, Ways: 16},
+		},
+		Policy:            PolicyRLFU,
+		RLFUCandidates:    4,
+		FreqResetInterval: 8192,
+		SDP:               true,
+		Spatial:           true,
+		Seed:              42,
+	}
+}
+
+// MonoConfig returns the Morrigan-mono ablation of Section 6.3: a single
+// 203-entry prediction table with 8 slots per entry, matching the default
+// configuration's storage budget.
+func MonoConfig() Config {
+	c := DefaultConfig()
+	c.Tables = []TableConfig{{Slots: 8, Entries: 203, Ways: 203}}
+	return c
+}
+
+// ScaledConfig scales the default table sizes by factor (Figures 13/14's
+// storage budget sweep), keeping the 2:2:2:1 capacity ratio. Entry counts
+// are rounded to multiples of the associativity.
+func ScaledConfig(factor float64) Config {
+	c := DefaultConfig()
+	for i := range c.Tables {
+		t := &c.Tables[i]
+		e := int(float64(t.Entries)*factor + 0.5)
+		if e < t.Ways {
+			// Shrink associativity with very small tables.
+			t.Ways = e
+			if t.Ways < 1 {
+				t.Ways = 1
+			}
+		}
+		t.Entries = (e / t.Ways) * t.Ways
+		if t.Entries < t.Ways {
+			t.Entries = t.Ways
+		}
+	}
+	return c
+}
+
+// FullyAssociative converts every table of c to full associativity
+// (Sections 6.1.1/6.1.2 sweep fully associative tables).
+func FullyAssociative(c Config) Config {
+	for i := range c.Tables {
+		c.Tables[i].Ways = c.Tables[i].Entries
+	}
+	return c
+}
+
+// token is the provenance attached to Morrigan's prefetch requests. On a PB
+// hit it routes the confidence update to the producing prediction slot
+// (step 6 of Figure 12); SDP requests carry sdp=true for attribution only.
+type token struct {
+	sdp  bool
+	vpn  arch.VPN // page whose entry produced the prediction
+	dist int32
+}
+
+// Morrigan is the composite instruction TLB prefetcher. It implements
+// tlbprefetch.Prefetcher.
+type Morrigan struct {
+	cfg    Config
+	tables []*prt
+	freq   *FrequencyStack
+	rng    *rand.Rand
+
+	// Per-thread registers holding the previously missed virtual page and
+	// the table that stores it (step 19 of Figure 12 notes a register
+	// avoids searching all tables). Sharing the tables while splitting
+	// these registers is exactly the paper's SMT provision (Section 4.3).
+	prev      [2]arch.VPN
+	prevTable [2]int
+	prevSeen  [2]bool
+
+	iripIssued uint64
+	sdpIssued  uint64
+	iripHits   uint64
+	sdpHits    uint64
+	transfers  uint64
+}
+
+var _ tlbprefetch.Prefetcher = (*Morrigan)(nil)
+
+// New builds Morrigan from cfg. It panics on invalid table geometry; use
+// Validate for a checked construction.
+func New(cfg Config) *Morrigan {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Morrigan{
+		cfg:  cfg,
+		freq: NewFrequencyStack(cfg.FreqResetInterval),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, tc := range cfg.Tables {
+		m.tables = append(m.tables, newPRT(tc.Slots, tc.Entries, tc.Ways))
+	}
+	return m
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("core: config needs at least one prediction table")
+	}
+	prev := 0
+	for i, t := range c.Tables {
+		if t.Slots <= 0 || t.Entries <= 0 || t.Ways <= 0 || t.Entries%t.Ways != 0 {
+			return fmt.Errorf("core: table %d geometry invalid: %+v", i, t)
+		}
+		if t.Slots <= prev {
+			return fmt.Errorf("core: tables must have strictly increasing slot counts")
+		}
+		prev = t.Slots
+	}
+	return nil
+}
+
+// Name implements tlbprefetch.Prefetcher.
+func (m *Morrigan) Name() string {
+	if len(m.tables) == 1 {
+		return "Morrigan-mono"
+	}
+	return "Morrigan"
+}
+
+// StorageBits implements tlbprefetch.Prefetcher using the paper's
+// accounting: 16-bit partial tag plus 15+2 bits per prediction slot.
+func (m *Morrigan) StorageBits() int {
+	bits := 0
+	for _, t := range m.tables {
+		bits += t.storageBits()
+	}
+	return bits
+}
+
+// StorageBytes returns the budget in bytes (the unit of Figures 13/14).
+func (m *Morrigan) StorageBytes() float64 { return float64(m.StorageBits()) / 8 }
+
+// findEntry locates vpn across the ensemble (entries are never duplicated,
+// so at most one table hits).
+func (m *Morrigan) findEntry(vpn arch.VPN) (int, *prtEntry) {
+	for i, t := range m.tables {
+		if e := t.find(vpn); e != nil {
+			return i, e
+		}
+	}
+	return -1, nil
+}
+
+// OnMiss implements the operation of Figure 12 for one iSTLB miss.
+func (m *Morrigan) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbprefetch.Request {
+	t := tid & 1
+	m.freq.Observe(vpn)
+
+	// Steps 8-9: look up the ensemble and generate one prefetch per valid
+	// prediction slot; the highest-confidence slot gets spatial
+	// prefetching (steps 3-5 of Figure 11).
+	var reqs []tlbprefetch.Request
+	ti, e := m.findEntry(vpn)
+	if e != nil {
+		best := -1
+		if e.n > 0 {
+			best = e.maxConfSlot()
+		}
+		for i := 0; i < e.n; i++ {
+			target := int64(vpn) + int64(e.dists[i])
+			if target < 0 {
+				continue
+			}
+			reqs = append(reqs, tlbprefetch.Request{
+				VPN:     arch.VPN(target),
+				Spatial: m.cfg.Spatial && i == best,
+				Token:   token{vpn: vpn, dist: e.dists[i]},
+			})
+		}
+		m.iripIssued += uint64(len(reqs))
+	} else {
+		// Step 15: a page with no history is always installed in the
+		// first (fewest-slots) table.
+		tab := m.tables[0]
+		victim, _ := tab.victim(vpn, m.cfg.Policy, m.freq, m.rng, m.cfg.RLFUCandidates)
+		tab.install(victim, vpn)
+		ti = 0
+	}
+
+	if len(reqs) == 0 && m.cfg.SDP {
+		// Steps 16-17: IRIP produced nothing, so the Small Delta
+		// Prefetcher issues a next-page prefetch with page-table-locality
+		// spatial prefetching (Section 4.1.2).
+		reqs = append(reqs, tlbprefetch.Request{
+			VPN:     vpn + 1,
+			Spatial: m.cfg.Spatial,
+			Token:   token{sdp: true},
+		})
+		m.sdpIssued++
+	}
+
+	// Step 18: record the new distance in the previous page's entry.
+	if m.prevSeen[t] && m.prev[t] != vpn {
+		m.recordDistance(t, vpn)
+	}
+
+	// Step 9 of Figure 11: remember the current page and its table.
+	m.prev[t] = vpn
+	m.prevTable[t] = ti
+	m.prevSeen[t] = true
+	return reqs
+}
+
+// recordDistance implements steps 18-25 of Figure 12: insert the distance
+// from the previously missed page to vpn into the previous page's entry,
+// migrating the entry to a table with more slots when full.
+func (m *Morrigan) recordDistance(t arch.ThreadID, vpn arch.VPN) {
+	dist := int64(vpn) - int64(m.prev[t])
+	if dist < MinDistance || dist > MaxDistance {
+		return // not representable in a 15-bit slot
+	}
+	d := int32(dist)
+
+	ti := m.prevTable[t]
+	if ti < 0 || ti >= len(m.tables) {
+		return
+	}
+	tab := m.tables[ti]
+	e := tab.peek(m.prev[t])
+	if e == nil {
+		// The entry was victimized since the register was set; nothing to
+		// update.
+		return
+	}
+	if e.hasDist(d) {
+		return
+	}
+	if e.n < tab.slots {
+		e.dists[e.n] = d
+		e.confs[e.n] = 0
+		e.n++
+		return
+	}
+	if ti == len(m.tables)-1 {
+		// Step 25: the largest table victimizes the lowest-confidence
+		// slot instead of migrating.
+		s := e.minConfSlot()
+		e.dists[s] = d
+		e.confs[s] = 0
+		return
+	}
+	// Steps 21-23: transfer the entry, together with the new distance,
+	// into the next table with more slots, then remove it from this one.
+	next := m.tables[ti+1]
+	victim, _ := next.victim(m.prev[t], m.cfg.Policy, m.freq, m.rng, m.cfg.RLFUCandidates)
+	next.install(victim, m.prev[t])
+	for i := 0; i < e.n; i++ {
+		victim.dists[i] = e.dists[i]
+		victim.confs[i] = e.confs[i]
+	}
+	victim.n = e.n
+	victim.dists[victim.n] = d
+	victim.confs[victim.n] = 0
+	victim.n++
+	tab.remove(m.prev[t])
+	m.prevTable[t] = ti + 1
+	m.transfers++
+}
+
+// OnPrefetchHit implements tlbprefetch.Prefetcher: a PB entry produced by
+// Morrigan eliminated a demand page walk, so the producing prediction
+// slot's confidence counter is incremented (step 6 of Figure 12).
+func (m *Morrigan) OnPrefetchHit(tok any) {
+	tk, ok := tok.(token)
+	if !ok {
+		return
+	}
+	if tk.sdp {
+		m.sdpHits++
+		return
+	}
+	m.iripHits++
+	// The entry may have migrated tables since the prefetch was issued, so
+	// search the ensemble.
+	_, e := m.findEntry(tk.vpn)
+	if e == nil {
+		return
+	}
+	for i := 0; i < e.n; i++ {
+		if e.dists[i] == tk.dist {
+			if e.confs[i] < maxConf {
+				e.confs[i]++
+			}
+			return
+		}
+	}
+}
+
+// Flush implements tlbprefetch.Prefetcher: prediction tables are flushed on
+// context switches (Section 4.3); their small size makes refill quick. SDP
+// is stateless.
+func (m *Morrigan) Flush() {
+	for _, t := range m.tables {
+		t.flush()
+	}
+	m.freq.Flush()
+	m.prevSeen = [2]bool{}
+}
+
+// IRIPIssued returns prefetch requests produced by the IRIP module.
+func (m *Morrigan) IRIPIssued() uint64 { return m.iripIssued }
+
+// SDPIssued returns prefetch requests produced by the SDP module.
+func (m *Morrigan) SDPIssued() uint64 { return m.sdpIssued }
+
+// IRIPHits returns PB hits attributed to IRIP prefetches.
+func (m *Morrigan) IRIPHits() uint64 { return m.iripHits }
+
+// SDPHits returns PB hits attributed to SDP prefetches.
+func (m *Morrigan) SDPHits() uint64 { return m.sdpHits }
+
+// Transfers returns entry migrations between prediction tables.
+func (m *Morrigan) Transfers() uint64 { return m.transfers }
+
+// FrequencyResets returns how often the frequency stack was reset.
+func (m *Morrigan) FrequencyResets() uint64 { return m.freq.Resets() }
+
+// TrackedEntries returns the live entry count across the ensemble; Section
+// 6.3 contrasts Morrigan's 448 effective entries with mono's 203.
+func (m *Morrigan) TrackedEntries() int {
+	n := 0
+	for _, t := range m.tables {
+		n += t.validEntries()
+	}
+	return n
+}
+
+// Capacity returns the total entry capacity across the ensemble.
+func (m *Morrigan) Capacity() int {
+	n := 0
+	for _, t := range m.tables {
+		n += len(t.ents)
+	}
+	return n
+}
+
+// ResetStats clears attribution counters, keeping predictor state.
+func (m *Morrigan) ResetStats() {
+	m.iripIssued, m.sdpIssued, m.iripHits, m.sdpHits, m.transfers = 0, 0, 0, 0, 0
+}

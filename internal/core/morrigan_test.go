@@ -1,0 +1,371 @@
+package core
+
+import (
+	"testing"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/tlbprefetch"
+)
+
+// miss drives one iSTLB miss using the page's base address as the PC.
+func miss(m *Morrigan, vpn arch.VPN) []tlbprefetch.Request {
+	return m.OnMiss(0, vpn.Addr(), vpn)
+}
+
+func TestDefaultConfigStorageBudget(t *testing.T) {
+	m := New(DefaultConfig())
+	// 128*(16+17) + 128*(16+34) + 128*(16+68) + 64*(16+136) = 31104 bits.
+	if got := m.StorageBits(); got != 31104 {
+		t.Fatalf("StorageBits = %d, want 31104", got)
+	}
+	// ~3.8 KB, the paper's 3.76 KB design point.
+	if b := m.StorageBytes(); b < 3700 || b > 3950 {
+		t.Fatalf("StorageBytes = %v", b)
+	}
+	if m.Capacity() != 448 {
+		t.Fatalf("Capacity = %d, want 448 (Section 6.3)", m.Capacity())
+	}
+	if m.Name() != "Morrigan" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestMonoConfigISOStorage(t *testing.T) {
+	mono := New(MonoConfig())
+	main := New(DefaultConfig())
+	if mono.Name() != "Morrigan-mono" {
+		t.Fatalf("Name = %q", mono.Name())
+	}
+	if mono.Capacity() != 203 {
+		t.Fatalf("mono capacity = %d, want 203", mono.Capacity())
+	}
+	// ISO-storage within 1%.
+	a, b := float64(mono.StorageBits()), float64(main.StorageBits())
+	if a/b < 0.97 || a/b > 1.03 {
+		t.Fatalf("mono %v bits vs main %v bits: not ISO-storage", a, b)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	half := New(ScaledConfig(0.5))
+	double := New(ScaledConfig(2))
+	base := New(DefaultConfig())
+	if half.StorageBits() >= base.StorageBits() {
+		t.Fatal("0.5x config not smaller")
+	}
+	if double.StorageBits() <= base.StorageBits() {
+		t.Fatal("2x config not larger")
+	}
+	// Tiny budgets remain valid configurations.
+	tiny := ScaledConfig(0.05)
+	if err := tiny.Validate(); err != nil {
+		t.Fatalf("tiny scaled config invalid: %v", err)
+	}
+	fa := FullyAssociative(DefaultConfig())
+	for _, tc := range fa.Tables {
+		if tc.Ways != tc.Entries {
+			t.Fatalf("FullyAssociative left table %+v", tc)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Tables: []TableConfig{{Slots: 0, Entries: 8, Ways: 8}}},
+		{Tables: []TableConfig{{Slots: 1, Entries: 10, Ways: 4}}},
+		{Tables: []TableConfig{{Slots: 2, Entries: 8, Ways: 8}, {Slots: 2, Entries: 8, Ways: 8}}},
+		{Tables: []TableConfig{{Slots: 4, Entries: 8, Ways: 8}, {Slots: 2, Entries: 8, Ways: 8}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestFirstMissInstallsInS1(t *testing.T) {
+	m := New(DefaultConfig())
+	reqs := miss(m, 0xA1)
+	// No history: IRIP misses, SDP fires a next-page spatial prefetch.
+	if len(reqs) != 1 || reqs[0].VPN != 0xA2 || !reqs[0].Spatial {
+		t.Fatalf("reqs = %+v", reqs)
+	}
+	if tok := reqs[0].Token.(token); !tok.sdp {
+		t.Fatal("request not attributed to SDP")
+	}
+	if m.tables[0].peek(0xA1) == nil {
+		t.Fatal("missed page not installed in PRT-S1")
+	}
+	if m.SDPIssued() != 1 || m.IRIPIssued() != 0 {
+		t.Fatalf("attribution: sdp=%d irip=%d", m.SDPIssued(), m.IRIPIssued())
+	}
+}
+
+func TestLearnsSingleSuccessor(t *testing.T) {
+	m := New(DefaultConfig())
+	miss(m, 0xA1)
+	miss(m, 0xB5) // distance +0x14 recorded in 0xA1's entry
+	reqs := miss(m, 0xA1)
+	found := false
+	for _, r := range reqs {
+		if r.VPN == 0xB5 {
+			found = true
+			if tok := r.Token.(token); tok.sdp || tok.vpn != 0xA1 {
+				t.Fatalf("bad token %+v", tok)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("learned successor not predicted: %+v", reqs)
+	}
+	if m.IRIPIssued() == 0 {
+		t.Fatal("IRIP attribution missing")
+	}
+}
+
+func TestEntryMigrationThroughEnsemble(t *testing.T) {
+	m := New(DefaultConfig())
+	// Give page 0x100 nine distinct successors; the entry must migrate
+	// S1 -> S2 -> S4 -> S8 and then start victimizing slots.
+	for i := arch.VPN(1); i <= 9; i++ {
+		miss(m, 0x100)
+		miss(m, 0x100+i*7)
+	}
+	if m.tables[0].peek(0x100) != nil || m.tables[1].peek(0x100) != nil ||
+		m.tables[2].peek(0x100) != nil {
+		t.Fatal("entry left behind in a smaller table")
+	}
+	e := m.tables[3].peek(0x100)
+	if e == nil {
+		t.Fatal("entry did not reach PRT-S8")
+	}
+	if e.n != 8 {
+		t.Fatalf("S8 entry has %d slots, want 8", e.n)
+	}
+	if m.Transfers() != 3 {
+		t.Fatalf("Transfers = %d, want 3", m.Transfers())
+	}
+	// Prediction from S8 produces up to 8 requests.
+	reqs := miss(m, 0x100)
+	if len(reqs) != 8 {
+		t.Fatalf("S8 predictions = %d, want 8", len(reqs))
+	}
+}
+
+func TestNoDuplicateDistance(t *testing.T) {
+	m := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		miss(m, 0xA1)
+		miss(m, 0xA5) // same +4 distance every time
+	}
+	// Entry must still be in PRT-S1 with exactly one slot.
+	e := m.tables[0].peek(0xA1)
+	if e == nil {
+		t.Fatal("entry missing from PRT-S1")
+	}
+	if e.n != 1 {
+		t.Fatalf("slots = %d, want 1 (dedup)", e.n)
+	}
+}
+
+func TestDistanceOutOfRangeSkipped(t *testing.T) {
+	m := New(DefaultConfig())
+	far := arch.VPN(0xA1 + MaxDistance + 100)
+	miss(m, 0xA1)
+	miss(m, far)
+	if e := m.tables[0].peek(0xA1); e == nil || e.n != 0 {
+		t.Fatalf("out-of-range distance recorded: %+v", e)
+	}
+	// In-range negative distance works.
+	miss(m, far-50)
+	if e := m.tables[0].peek(far); e == nil || e.n != 1 || e.dists[0] != -50 {
+		t.Fatal("negative distance not recorded")
+	}
+}
+
+func TestSpatialOnlyForHighestConfidence(t *testing.T) {
+	m := New(DefaultConfig())
+	// Build two successors for 0xA1: 0xA5 (seen often) and 0xB0.
+	miss(m, 0xA1)
+	miss(m, 0xA5)
+	miss(m, 0xA1)
+	miss(m, 0xB0)
+	// Bump confidence of the 0xA5 slot via prefetch-hit feedback.
+	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	reqs := miss(m, 0xA1)
+	if len(reqs) != 2 {
+		t.Fatalf("reqs = %+v", reqs)
+	}
+	spatialCount := 0
+	for _, r := range reqs {
+		if r.Spatial {
+			spatialCount++
+			if r.VPN != 0xA5 {
+				t.Fatalf("spatial prefetch for %#x, want 0xA5", r.VPN)
+			}
+		}
+	}
+	if spatialCount != 1 {
+		t.Fatalf("spatial requests = %d, want exactly 1", spatialCount)
+	}
+}
+
+func TestSpatialDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Spatial = false
+	m := New(cfg)
+	reqs := miss(m, 0xA1)
+	for _, r := range reqs {
+		if r.Spatial {
+			t.Fatal("spatial request with Spatial disabled")
+		}
+	}
+}
+
+func TestSDPDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SDP = false
+	m := New(cfg)
+	if reqs := miss(m, 0xA1); len(reqs) != 0 {
+		t.Fatalf("reqs = %+v with SDP disabled", reqs)
+	}
+}
+
+func TestConfidenceSaturates(t *testing.T) {
+	m := New(DefaultConfig())
+	miss(m, 0xA1)
+	miss(m, 0xA5)
+	for i := 0; i < 10; i++ {
+		m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	}
+	e := m.tables[0].peek(0xA1)
+	if e.confs[0] != maxConf {
+		t.Fatalf("conf = %d, want %d", e.confs[0], maxConf)
+	}
+	if m.IRIPHits() != 10 {
+		t.Fatalf("IRIPHits = %d", m.IRIPHits())
+	}
+}
+
+func TestPrefetchHitAfterMigration(t *testing.T) {
+	m := New(DefaultConfig())
+	// Learn one successor, then migrate the entry to S2 with a second.
+	miss(m, 0xA1)
+	miss(m, 0xA5)
+	miss(m, 0xA1)
+	miss(m, 0xB0)
+	// Token issued when the entry was in S1 must still land.
+	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	e := m.tables[1].peek(0xA1)
+	if e == nil {
+		t.Fatal("entry not in S2")
+	}
+	found := false
+	for i := 0; i < e.n; i++ {
+		if e.dists[i] == 4 && e.confs[i] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("confidence update lost after migration")
+	}
+}
+
+func TestPrefetchHitSDPAndForeignTokens(t *testing.T) {
+	m := New(DefaultConfig())
+	m.OnPrefetchHit(token{sdp: true})
+	if m.SDPHits() != 1 {
+		t.Fatalf("SDPHits = %d", m.SDPHits())
+	}
+	// Foreign token types are ignored.
+	m.OnPrefetchHit("not-a-token")
+	m.OnPrefetchHit(nil)
+	// Token for an evicted entry is harmless.
+	m.OnPrefetchHit(token{vpn: 0xDEAD, dist: 1})
+}
+
+func TestS8LowestConfidenceVictimized(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	// Fill an S8 entry with 8 distances, raise confidence on all but one.
+	for i := arch.VPN(1); i <= 8; i++ {
+		miss(m, 0x200)
+		miss(m, 0x200+i)
+	}
+	e := m.tables[3].peek(0x200)
+	if e == nil || e.n != 8 {
+		t.Fatalf("S8 entry: %+v", e)
+	}
+	for i := 0; i < 8; i++ {
+		if e.dists[i] != 3 { // leave distance 3 at confidence 0
+			m.OnPrefetchHit(token{vpn: 0x200, dist: e.dists[i]})
+		}
+	}
+	// A ninth distinct distance replaces the lowest-confidence slot (3).
+	miss(m, 0x200)
+	miss(m, 0x200+100)
+	if e.hasDist(3) {
+		t.Fatal("lowest-confidence slot not victimized")
+	}
+	if !e.hasDist(100) {
+		t.Fatal("new distance not installed")
+	}
+}
+
+func TestThreadsKeepSeparateChains(t *testing.T) {
+	m := New(DefaultConfig())
+	// Interleave two threads; thread 0's chain is A1 -> A9, thread 1's is
+	// C1 -> C7. Cross distances must not be recorded.
+	m.OnMiss(0, 0, 0xA1)
+	m.OnMiss(1, 0, 0xC1)
+	m.OnMiss(0, 0, 0xA9)
+	m.OnMiss(1, 0, 0xC7)
+	eA := m.tables[0].peek(0xA1)
+	if eA == nil || eA.n != 1 || eA.dists[0] != 8 {
+		t.Fatalf("thread 0 chain: %+v", eA)
+	}
+	eC := m.tables[0].peek(0xC1)
+	if eC == nil || eC.n != 1 || eC.dists[0] != 6 {
+		t.Fatalf("thread 1 chain: %+v", eC)
+	}
+}
+
+func TestFlushClearsState(t *testing.T) {
+	m := New(DefaultConfig())
+	miss(m, 0xA1)
+	miss(m, 0xA5)
+	m.Flush()
+	if m.TrackedEntries() != 0 {
+		t.Fatal("entries survived flush")
+	}
+	// After a flush the next miss is history-free: no distance recorded.
+	miss(m, 0xB0)
+	if e := m.tables[0].peek(0xB0); e == nil || e.n != 0 {
+		t.Fatal("stale previous-miss register used after flush")
+	}
+}
+
+func TestSameVPNRepeatNoSelfLoop(t *testing.T) {
+	m := New(DefaultConfig())
+	miss(m, 0xA1)
+	miss(m, 0xA1)
+	if e := m.tables[0].peek(0xA1); e == nil || e.n != 0 {
+		t.Fatal("self-distance recorded for repeated miss")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(DefaultConfig())
+	miss(m, 1)
+	miss(m, 2)
+	m.OnPrefetchHit(token{sdp: true})
+	m.ResetStats()
+	if m.IRIPIssued()+m.SDPIssued()+m.IRIPHits()+m.SDPHits()+m.Transfers() != 0 {
+		t.Fatal("stats not reset")
+	}
+}

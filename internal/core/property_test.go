@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"morrigan/internal/arch"
+)
+
+// driveStream feeds a miss stream into a fresh Morrigan and returns it.
+func driveStream(cfg Config, stream []arch.VPN) *Morrigan {
+	m := New(cfg)
+	for _, vpn := range stream {
+		m.OnMiss(0, vpn.Addr(), vpn)
+	}
+	return m
+}
+
+// randomStream builds a miss stream with warm-set structure from raw fuzz
+// bytes: small values map to a compact hot set, larger ones spread out.
+func randomStream(raw []byte) []arch.VPN {
+	out := make([]arch.VPN, 0, len(raw))
+	for _, b := range raw {
+		out = append(out, arch.VPN(0x400)+arch.VPN(b%97))
+	}
+	return out
+}
+
+// TestPropertyNoDuplicateEntries checks the paper's invariant that a page
+// lives in at most one prediction table ("there is no duplication of entries
+// in the prediction tables, thus only one hit might occur").
+func TestPropertyNoDuplicateEntries(t *testing.T) {
+	f := func(raw []byte) bool {
+		m := driveStream(DefaultConfig(), randomStream(raw))
+		seen := map[arch.VPN]int{}
+		for ti, tab := range m.tables {
+			for i := range tab.ents {
+				e := &tab.ents[i]
+				if !e.valid {
+					continue
+				}
+				if prev, dup := seen[e.vpn]; dup {
+					t.Logf("vpn %#x in tables %d and %d", e.vpn, prev, ti)
+					return false
+				}
+				seen[e.vpn] = ti
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySlotCountsWithinTableCapacity checks that every entry's slot
+// count respects its table's slot capacity and slots hold distinct
+// distances.
+func TestPropertySlotCountsWithinTableCapacity(t *testing.T) {
+	f := func(raw []byte) bool {
+		m := driveStream(DefaultConfig(), randomStream(raw))
+		for _, tab := range m.tables {
+			for i := range tab.ents {
+				e := &tab.ents[i]
+				if !e.valid {
+					continue
+				}
+				if e.n < 0 || e.n > tab.slots {
+					return false
+				}
+				dists := map[int32]bool{}
+				for j := 0; j < e.n; j++ {
+					if dists[e.dists[j]] {
+						return false // duplicate distance in one entry
+					}
+					dists[e.dists[j]] = true
+					if e.confs[j] > maxConf {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPredictionsMatchObservedSuccessors checks that every
+// prediction Morrigan issues was at some point an observed miss-to-miss
+// transition target (IRIP only learns from the stream; predictions are
+// current page + a learned distance).
+func TestPropertyPredictionsMatchObservedSuccessors(t *testing.T) {
+	f := func(raw []byte) bool {
+		stream := randomStream(raw)
+		if len(stream) < 3 {
+			return true
+		}
+		// Collect all observed transitions.
+		observed := map[[2]arch.VPN]bool{}
+		for i := 1; i < len(stream); i++ {
+			observed[[2]arch.VPN{stream[i-1], stream[i]}] = true
+		}
+		m := New(DefaultConfig())
+		for i, vpn := range stream {
+			reqs := m.OnMiss(0, vpn.Addr(), vpn)
+			if i == 0 {
+				continue
+			}
+			for _, r := range reqs {
+				tok, ok := r.Token.(token)
+				if !ok || tok.sdp {
+					continue // SDP's next-page guess is not chain-derived
+				}
+				// An IRIP prediction from this miss must correspond to a
+				// previously observed transition out of vpn.
+				if !observed[[2]arch.VPN{vpn, r.VPN}] {
+					t.Logf("prediction %#x -> %#x never observed", vpn, r.VPN)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStorageInvariantUnderScaling checks the ISO-storage accounting
+// is monotone and proportional under ScaledConfig.
+func TestPropertyStorageInvariantUnderScaling(t *testing.T) {
+	base := float64(New(DefaultConfig()).StorageBits())
+	f := func(raw uint8) bool {
+		factor := 0.25 + float64(raw)/64 // 0.25 .. ~4.2
+		m := New(ScaledConfig(factor))
+		got := float64(m.StorageBits())
+		// Rounding to way multiples bounds the deviation.
+		return got > base*factor*0.5 && got < base*factor*1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministicReplay checks that identical miss streams produce
+// identical predictions (RLFU randomness comes from the seeded RNG only).
+func TestPropertyDeterministicReplay(t *testing.T) {
+	f := func(raw []byte) bool {
+		stream := randomStream(raw)
+		run := func() []arch.VPN {
+			m := New(DefaultConfig())
+			var out []arch.VPN
+			for _, vpn := range stream {
+				for _, r := range m.OnMiss(0, vpn.Addr(), vpn) {
+					out = append(out, r.VPN)
+				}
+			}
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTrackedNeverExceedsCapacity fuzzes long adversarial streams
+// and checks occupancy bounds.
+func TestPropertyTrackedNeverExceedsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := New(DefaultConfig())
+	for i := 0; i < 200_000; i++ {
+		vpn := arch.VPN(rng.Intn(10_000))
+		m.OnMiss(0, vpn.Addr(), vpn)
+		if i%50_000 == 0 && m.TrackedEntries() > m.Capacity() {
+			t.Fatalf("tracked %d > capacity %d", m.TrackedEntries(), m.Capacity())
+		}
+	}
+	if m.TrackedEntries() > m.Capacity() {
+		t.Fatalf("tracked %d > capacity %d", m.TrackedEntries(), m.Capacity())
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/tlbprefetch"
+)
+
+// Policy selects the prediction tables' replacement policy (Section 6.1.2
+// compares RLFU against LRU, Random and LFU).
+type Policy int
+
+// Replacement policies for the IRIP prediction tables.
+const (
+	// PolicyRLFU is Morrigan's Random-Least-Frequently-Used policy: the
+	// victim is drawn uniformly at random from the set entries with the
+	// lowest miss frequencies, giving recently installed (not yet
+	// frequent) entries a second chance.
+	PolicyRLFU Policy = iota
+	// PolicyLFU evicts the entry whose page has the lowest miss frequency.
+	PolicyLFU
+	// PolicyLRU evicts the least recently used entry (what the prior MP
+	// design uses).
+	PolicyLRU
+	// PolicyRandom evicts a uniformly random entry.
+	PolicyRandom
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRLFU:
+		return "RLFU"
+	case PolicyLFU:
+		return "LFU"
+	case PolicyLRU:
+		return "LRU"
+	case PolicyRandom:
+		return "Random"
+	}
+	return "invalid"
+}
+
+// maxRLFUWidth bounds the RLFU victim candidate pool (hardware would use a
+// small comparator tree).
+const maxRLFUWidth = 8
+
+// prtEntry is one prediction table entry: the missed page for indexing plus
+// up to slots (distance, confidence) prediction pairs. The full VPN is kept
+// for simulation fidelity; storage is accounted as a 16-bit partial tag per
+// the paper (Section 6.1).
+type prtEntry struct {
+	vpn   arch.VPN
+	dists []int32
+	confs []uint8
+	n     int
+	used  uint64
+	valid bool
+}
+
+// hasDist reports whether the entry already stores the distance.
+func (e *prtEntry) hasDist(d int32) bool {
+	for i := 0; i < e.n; i++ {
+		if e.dists[i] == d {
+			return true
+		}
+	}
+	return false
+}
+
+// minConfSlot returns the index of the lowest-confidence slot.
+func (e *prtEntry) minConfSlot() int {
+	v := 0
+	for i := 1; i < e.n; i++ {
+		if e.confs[i] < e.confs[v] {
+			v = i
+		}
+	}
+	return v
+}
+
+// maxConfSlot returns the index of the highest-confidence slot.
+func (e *prtEntry) maxConfSlot() int {
+	v := 0
+	for i := 1; i < e.n; i++ {
+		if e.confs[i] > e.confs[v] {
+			v = i
+		}
+	}
+	return v
+}
+
+// prt is one set-associative prediction table of the IRIP ensemble.
+type prt struct {
+	slots int // prediction slots per entry (1, 2, 4 or 8)
+	sets  int
+	ways  int
+	ents  []prtEntry
+	tick  uint64
+}
+
+func newPRT(slots, entries, ways int) *prt {
+	if slots <= 0 || entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("core: PRT geometry must be positive with entries a multiple of ways")
+	}
+	t := &prt{slots: slots, sets: entries / ways, ways: ways, ents: make([]prtEntry, entries)}
+	for i := range t.ents {
+		t.ents[i].dists = make([]int32, slots)
+		t.ents[i].confs = make([]uint8, slots)
+	}
+	return t
+}
+
+func (t *prt) set(vpn arch.VPN) []prtEntry {
+	s := int(uint64(vpn) % uint64(t.sets))
+	return t.ents[s*t.ways : (s+1)*t.ways]
+}
+
+// find returns the entry for vpn, promoting it for LRU, or nil.
+func (t *prt) find(vpn arch.VPN) *prtEntry {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			t.tick++
+			set[i].used = t.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// peek returns the entry without LRU promotion.
+func (t *prt) peek(vpn arch.VPN) *prtEntry {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim selects a replacement victim in vpn's set according to the policy.
+// It returns a free slot if one exists. rlfuWidth bounds the RLFU candidate
+// pool. evicted reports whether a valid entry is being displaced.
+func (t *prt) victim(vpn arch.VPN, pol Policy, freq *FrequencyStack, rng *rand.Rand, rlfuWidth int) (e *prtEntry, evicted bool) {
+	set := t.set(vpn)
+	for i := range set {
+		if !set[i].valid {
+			return &set[i], false
+		}
+	}
+	switch pol {
+	case PolicyLRU:
+		v := 0
+		for i := range set {
+			if set[i].used < set[v].used {
+				v = i
+			}
+		}
+		return &set[v], true
+	case PolicyRandom:
+		return &set[rng.Intn(len(set))], true
+	case PolicyLFU:
+		v := 0
+		for i := range set {
+			if freq.Freq(set[i].vpn) < freq.Freq(set[v].vpn) {
+				v = i
+			}
+		}
+		return &set[v], true
+	default: // PolicyRLFU
+		// Collect the rlfuWidth least frequently missed entries, then
+		// choose uniformly among them: pure LFU would always evict the
+		// newest entries (frequency 1), so randomising across the
+		// low-frequency pool acts as a second-chance mechanism for
+		// recently installed entries (Section 4.1.1).
+		if rlfuWidth < 2 {
+			rlfuWidth = 2
+		}
+		if rlfuWidth > maxRLFUWidth {
+			rlfuWidth = maxRLFUWidth
+		}
+		if rlfuWidth > len(set) {
+			rlfuWidth = len(set)
+		}
+		// Single pass keeping the k lowest-frequency candidates, sorted
+		// ascending by frequency in fixed-size arrays (no allocation).
+		var candIdx [maxRLFUWidth]int
+		var candFreq [maxRLFUWidth]uint32
+		n := 0
+		for i := range set {
+			f := freq.Freq(set[i].vpn)
+			if n == rlfuWidth && f >= candFreq[n-1] {
+				continue
+			}
+			j := n
+			if n < rlfuWidth {
+				n++
+			} else {
+				j = n - 1
+			}
+			for j > 0 && candFreq[j-1] > f {
+				candIdx[j] = candIdx[j-1]
+				candFreq[j] = candFreq[j-1]
+				j--
+			}
+			candIdx[j] = i
+			candFreq[j] = f
+		}
+		return &set[candIdx[rng.Intn(n)]], true
+	}
+}
+
+// install writes a fresh entry for vpn into e.
+func (t *prt) install(e *prtEntry, vpn arch.VPN) {
+	t.tick++
+	e.vpn = vpn
+	e.n = 0
+	e.used = t.tick
+	e.valid = true
+}
+
+// remove invalidates vpn's entry if present.
+func (t *prt) remove(vpn arch.VPN) {
+	if e := t.peek(vpn); e != nil {
+		e.valid = false
+	}
+}
+
+// flush invalidates every entry.
+func (t *prt) flush() {
+	for i := range t.ents {
+		t.ents[i].valid = false
+	}
+}
+
+// storageBits accounts the table's hardware budget: a 16-bit partial tag
+// plus (15-bit distance + 2-bit confidence) per slot, per entry.
+func (t *prt) storageBits() int {
+	per := tlbprefetch.TagBits + t.slots*(tlbprefetch.DistanceBits+tlbprefetch.ConfBits)
+	return len(t.ents) * per
+}
+
+// validEntries counts live entries (for tests and ablation reports).
+func (t *prt) validEntries() int {
+	n := 0
+	for i := range t.ents {
+		if t.ents[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"morrigan/internal/arch"
+)
+
+func TestFrequencyStack(t *testing.T) {
+	f := NewFrequencyStack(0)
+	f.Observe(1)
+	f.Observe(1)
+	f.Observe(2)
+	if f.Freq(1) != 2 || f.Freq(2) != 1 || f.Freq(3) != 0 {
+		t.Fatalf("freqs: %d %d %d", f.Freq(1), f.Freq(2), f.Freq(3))
+	}
+	if f.Resets() != 0 {
+		t.Fatal("reset with interval 0")
+	}
+	f.Flush()
+	if f.Freq(1) != 0 {
+		t.Fatal("flush did not clear counts")
+	}
+}
+
+func TestFrequencyStackPeriodicReset(t *testing.T) {
+	f := NewFrequencyStack(10)
+	for i := 0; i < 25; i++ {
+		f.Observe(arch.VPN(7))
+	}
+	if f.Resets() != 2 {
+		t.Fatalf("Resets = %d, want 2", f.Resets())
+	}
+	// The reset fires before recording observation 20, so observations
+	// 20 through 25 (six of them) remain.
+	if f.Freq(7) != 6 {
+		t.Fatalf("Freq = %d, want 6", f.Freq(7))
+	}
+}
+
+func preparePRT(t *testing.T) (*prt, *FrequencyStack) {
+	t.Helper()
+	p := newPRT(2, 4, 4) // one fully associative set of 4 entries
+	f := NewFrequencyStack(0)
+	return p, f
+}
+
+func TestPRTVictimPrefersFreeSlot(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(1))
+	e, evicted := p.victim(1, PolicyRLFU, f, rng, 2)
+	if evicted {
+		t.Fatal("eviction reported with free ways")
+	}
+	p.install(e, 1)
+	if p.peek(1) == nil {
+		t.Fatal("installed entry not found")
+	}
+}
+
+func TestPRTPolicyLRU(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(1))
+	for v := arch.VPN(1); v <= 4; v++ {
+		e, _ := p.victim(v, PolicyLRU, f, rng, 2)
+		p.install(e, v)
+	}
+	p.find(1) // promote 1; entry 2 becomes LRU
+	e, evicted := p.victim(9, PolicyLRU, f, rng, 2)
+	if !evicted || e.vpn != 2 {
+		t.Fatalf("LRU victim = %+v (evicted=%v), want vpn 2", e.vpn, evicted)
+	}
+}
+
+func TestPRTPolicyLFU(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(1))
+	for v := arch.VPN(1); v <= 4; v++ {
+		e, _ := p.victim(v, PolicyLFU, f, rng, 2)
+		p.install(e, v)
+	}
+	// Page 3 is the coldest.
+	for v := arch.VPN(1); v <= 4; v++ {
+		f.Observe(v)
+		if v != 3 {
+			f.Observe(v)
+			f.Observe(v)
+		}
+	}
+	e, _ := p.victim(9, PolicyLFU, f, rng, 2)
+	if e.vpn != 3 {
+		t.Fatalf("LFU victim = %v, want 3", e.vpn)
+	}
+}
+
+func TestPRTPolicyRLFUPicksFromLowFrequencyPool(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(7))
+	for v := arch.VPN(1); v <= 4; v++ {
+		e, _ := p.victim(v, PolicyRLFU, f, rng, 2)
+		p.install(e, v)
+	}
+	// Pages 1 and 2 cold (freq 1); pages 3 and 4 hot.
+	for v := arch.VPN(1); v <= 4; v++ {
+		f.Observe(v)
+	}
+	for i := 0; i < 50; i++ {
+		f.Observe(3)
+		f.Observe(4)
+	}
+	// With candidate width 2 the victim must always be 1 or 2, and over
+	// many trials both must appear (the random second-chance component).
+	seen := map[arch.VPN]bool{}
+	for i := 0; i < 200; i++ {
+		e, _ := p.victim(9, PolicyRLFU, f, rng, 2)
+		if e.vpn != 1 && e.vpn != 2 {
+			t.Fatalf("RLFU victim = %v, want a low-frequency page", e.vpn)
+		}
+		seen[e.vpn] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("RLFU never randomized: seen = %v", seen)
+	}
+}
+
+func TestPRTPolicyRandomCoversSet(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(3))
+	for v := arch.VPN(1); v <= 4; v++ {
+		e, _ := p.victim(v, PolicyRandom, f, rng, 2)
+		p.install(e, v)
+	}
+	seen := map[arch.VPN]bool{}
+	for i := 0; i < 300; i++ {
+		e, _ := p.victim(9, PolicyRandom, f, rng, 2)
+		seen[e.vpn] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random policy visited %d entries, want 4", len(seen))
+	}
+}
+
+func TestPRTRLFUWidthClamping(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(3))
+	for v := arch.VPN(1); v <= 4; v++ {
+		e, _ := p.victim(v, PolicyRLFU, f, rng, 0)
+		p.install(e, v)
+	}
+	// Width larger than the set is clamped; must not panic.
+	if e, _ := p.victim(9, PolicyRLFU, f, rng, 100); e == nil {
+		t.Fatal("nil victim")
+	}
+}
+
+func TestPRTRemoveAndValidEntries(t *testing.T) {
+	p, f := preparePRT(t)
+	rng := rand.New(rand.NewSource(1))
+	e, _ := p.victim(5, PolicyRLFU, f, rng, 2)
+	p.install(e, 5)
+	if p.validEntries() != 1 {
+		t.Fatalf("validEntries = %d", p.validEntries())
+	}
+	p.remove(5)
+	if p.peek(5) != nil || p.validEntries() != 0 {
+		t.Fatal("remove failed")
+	}
+	p.remove(99) // removing a missing entry is a no-op
+}
+
+func TestPRTEntrySlotHelpers(t *testing.T) {
+	e := prtEntry{dists: []int32{4, -2, 7}, confs: []uint8{1, 3, 0}, n: 3}
+	if !e.hasDist(-2) || e.hasDist(9) {
+		t.Fatal("hasDist wrong")
+	}
+	if e.maxConfSlot() != 1 {
+		t.Fatalf("maxConfSlot = %d", e.maxConfSlot())
+	}
+	if e.minConfSlot() != 2 {
+		t.Fatalf("minConfSlot = %d", e.minConfSlot())
+	}
+}
+
+func TestPRTGeometryPanics(t *testing.T) {
+	for _, bad := range [][3]int{{0, 8, 8}, {1, 0, 1}, {1, 10, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v accepted", bad)
+				}
+			}()
+			newPRT(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyRLFU: "RLFU", PolicyLFU: "LFU", PolicyLRU: "LRU",
+		PolicyRandom: "Random", Policy(9): "invalid",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestPRTStorageBits(t *testing.T) {
+	p := newPRT(2, 128, 32)
+	if got := p.storageBits(); got != 128*(16+2*17) {
+		t.Fatalf("storageBits = %d", got)
+	}
+}

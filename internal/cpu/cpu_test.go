@@ -1,0 +1,146 @@
+package cpu
+
+import "testing"
+
+func TestBaseCyclesAndIPC(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Retire(400)
+	if c.BaseCycles() != 100 {
+		t.Fatalf("BaseCycles = %d, want 100", c.BaseCycles())
+	}
+	if c.Cycles() != 100 {
+		t.Fatalf("Cycles = %d", c.Cycles())
+	}
+	if got := c.IPC(); got != 4 {
+		t.Fatalf("IPC = %v, want 4", got)
+	}
+	// Rounding up for a partial dispatch group.
+	c2 := New(DefaultConfig())
+	c2.Retire(401)
+	if c2.BaseCycles() != 101 {
+		t.Fatalf("BaseCycles = %d, want 101", c2.BaseCycles())
+	}
+}
+
+func TestFrontEndStallsChargedFully(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Retire(400)
+	c.FrontEndStall(StallICache, 20)
+	c.FrontEndStall(StallITLB, 8)
+	c.FrontEndStall(StallIWalk, 69)
+	if c.Cycles() != 100+20+8+69 {
+		t.Fatalf("Cycles = %d", c.Cycles())
+	}
+	if c.StallCycles(StallIWalk) != 69 {
+		t.Fatalf("StallIWalk = %d", c.StallCycles(StallIWalk))
+	}
+}
+
+func TestDataStallHideWindow(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Retire(100)
+	// Short data latency is fully hidden.
+	if charged := c.DataStall(20); charged != 0 {
+		t.Fatalf("short miss charged %d", charged)
+	}
+	// Long latency charged minus the hide window.
+	if charged := c.DataStall(130); charged != 100 {
+		t.Fatalf("long miss charged %d, want 100", charged)
+	}
+	if c.StallCycles(StallData) != 100 {
+		t.Fatalf("StallData = %d", c.StallCycles(StallData))
+	}
+}
+
+func TestDataStallMLPOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	c.Retire(10)
+	first := c.DataStall(200)
+	if first == 0 {
+		t.Fatal("first miss should be charged")
+	}
+	// A second miss within the ROB span overlaps for free.
+	c.Retire(50)
+	if charged := c.DataStall(200); charged != 0 {
+		t.Fatalf("overlapping miss charged %d", charged)
+	}
+	// Beyond the ROB span the next miss is charged again.
+	c.Retire(uint64(cfg.ROB))
+	if charged := c.DataStall(200); charged == 0 {
+		t.Fatal("post-window miss not charged")
+	}
+}
+
+func TestFrontEndVsDataAsymmetry(t *testing.T) {
+	// The paper's premise: the same page-walk latency hurts more on the
+	// instruction side than on the data side.
+	frontend := New(DefaultConfig())
+	frontend.Retire(1000)
+	frontend.FrontEndStall(StallIWalk, 112)
+
+	backend := New(DefaultConfig())
+	backend.Retire(1000)
+	backend.DataStall(112)
+
+	if frontend.Cycles() <= backend.Cycles() {
+		t.Fatalf("frontend %d vs backend %d: asymmetry lost",
+			frontend.Cycles(), backend.Cycles())
+	}
+}
+
+func TestTranslationCyclePct(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Retire(400) // 100 base cycles
+	c.FrontEndStall(StallITLB, 50)
+	c.FrontEndStall(StallIWalk, 50)
+	// 100 translation cycles out of 200 total.
+	if got := c.TranslationCyclePct(); got != 50 {
+		t.Fatalf("TranslationCyclePct = %v, want 50", got)
+	}
+	empty := New(DefaultConfig())
+	if empty.TranslationCyclePct() != 0 || empty.IPC() != 0 {
+		t.Fatal("empty core should report zeros")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Retire(100)
+	c.FrontEndStall(StallICache, 10)
+	c.DataStall(200)
+	c.ResetStats()
+	if c.Cycles() != 0 || c.Retired() != 0 {
+		t.Fatal("stats not reset")
+	}
+	// MLP window must also clear.
+	c.Retire(1)
+	if charged := c.DataStall(200); charged == 0 {
+		t.Fatal("MLP window survived reset")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{{Width: 0, ROB: 1}, {Width: 1, ROB: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestStallKindString(t *testing.T) {
+	want := map[StallKind]string{
+		StallICache: "icache", StallITLB: "itlb-lookup",
+		StallIWalk: "iwalk", StallData: "data", StallKind(9): "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("StallKind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+}

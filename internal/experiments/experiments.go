@@ -1,0 +1,196 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the synthetic QMM-like workload suite. Each experiment
+// returns a Table that cmd/experiments renders and EXPERIMENTS.md records;
+// bench_test.go wraps each one in a testing.B benchmark.
+//
+// Absolute numbers differ from the paper — the substrate is this
+// repository's simulator and synthetic traces, not ChampSim on the Qualcomm
+// traces — but each experiment preserves the paper's comparison structure:
+// who is compared against whom, at what storage budget, and which metric is
+// reported. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"morrigan/internal/sim"
+	"morrigan/internal/workloads"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Warmup and Measure are instructions per simulation, mirroring the
+	// paper's 50M/100M methodology at a laptop-friendly scale.
+	Warmup, Measure uint64
+	// MaxWorkloads limits how many QMM workloads run (0 = all 45).
+	MaxWorkloads int
+	// SMTPairs is the number of colocation pairs for Figure 20.
+	SMTPairs int
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// DefaultOptions runs every workload at a scale that finishes in minutes on
+// one core.
+func DefaultOptions() Options {
+	return Options{Warmup: 500_000, Measure: 2_000_000, SMTPairs: 20}
+}
+
+// QuickOptions is a reduced scale for benchmarks and smoke tests.
+func QuickOptions() Options {
+	return Options{Warmup: 100_000, Measure: 500_000, MaxWorkloads: 6, SMTPairs: 4}
+}
+
+// FullOptions approaches the paper's methodology (slow on one core).
+func FullOptions() Options {
+	return Options{Warmup: 2_000_000, Measure: 10_000_000, SMTPairs: 50}
+}
+
+// qmm returns the (possibly truncated) QMM workload list. When truncating,
+// it samples across the suite so footprints still span the full range.
+func (o Options) qmm() []workloads.Spec {
+	all := workloads.QMM()
+	if o.MaxWorkloads <= 0 || o.MaxWorkloads >= len(all) {
+		return all
+	}
+	out := make([]workloads.Spec, 0, o.MaxWorkloads)
+	step := float64(len(all)-1) / float64(o.MaxWorkloads-1)
+	for i := 0; i < o.MaxWorkloads; i++ {
+		out = append(out, all[int(float64(i)*step+0.5)])
+	}
+	return out
+}
+
+// progress reports one finished simulation.
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "fig15").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the measurements.
+	Rows [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// run executes one single-threaded simulation of spec under cfg.
+func (o Options) run(cfg sim.Config, spec workloads.Spec) (sim.Stats, error) {
+	s, err := sim.New(cfg, []sim.ThreadSpec{{Reader: spec.NewReader()}})
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	st, err := s.Run(o.Warmup, o.Measure)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	return st, nil
+}
+
+// runPair executes one SMT colocation simulation. The second workload's
+// address space is offset so the two behave as distinct processes.
+func (o Options) runPair(cfg sim.Config, a, b workloads.Spec) (sim.Stats, error) {
+	s, err := sim.New(cfg, []sim.ThreadSpec{
+		{Reader: a.NewReader()},
+		{Reader: b.NewReader(), VAOffset: 1 << 40},
+	})
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("experiments: %s+%s: %w", a.Name, b.Name, err)
+	}
+	st, err := s.Run(o.Warmup, o.Measure)
+	if err != nil {
+		return sim.Stats{}, fmt.Errorf("experiments: %s+%s: %w", a.Name, b.Name, err)
+	}
+	return st, nil
+}
+
+// pct formats a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Registry maps experiment IDs to their implementations.
+var Registry = map[string]func(Options) (*Table, error){
+	"table1":        Table1,
+	"fig2":          Fig2,
+	"fig3":          Fig3,
+	"fig4":          Fig4,
+	"fig5":          Fig5,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig10":         Fig10,
+	"fig13":         Fig13,
+	"fig14":         Fig14,
+	"sec613":        Sec613,
+	"fig15":         Fig15,
+	"fig16":         Fig16,
+	"fig17":         Fig17,
+	"fig18":         Fig18,
+	"fig19":         Fig19,
+	"fig20":         Fig20,
+	"ablations":     Ablations,
+	"pagetables":    PageTables,
+	"contextswitch": ContextSwitch,
+	"hugepages":     HugePages,
+	"icacheselect":  ICacheSelection,
+}
+
+// Order lists the experiments in paper order.
+var Order = []string{
+	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"fig9", "fig10", "fig13", "fig14", "sec613", "fig15", "fig16",
+	"fig17", "fig18", "fig19", "fig20", "ablations", "pagetables",
+	"contextswitch", "hugepages", "icacheselect",
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment tests fast; experiment correctness at scale
+// is exercised by the benchmarks and cmd/experiments.
+func tinyOptions() Options {
+	return Options{Warmup: 50_000, Measure: 250_000, MaxWorkloads: 3, SMTPairs: 2}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestQMMSampling(t *testing.T) {
+	o := Options{MaxWorkloads: 5}
+	specs := o.qmm()
+	if len(specs) != 5 {
+		t.Fatalf("sampled %d workloads", len(specs))
+	}
+	if specs[0].Name == specs[4].Name {
+		t.Fatal("sampling did not span the suite")
+	}
+	o = Options{}
+	if len(o.qmm()) != 45 {
+		t.Fatal("unlimited sampling should return all 45")
+	}
+	o = Options{MaxWorkloads: 100}
+	if len(o.qmm()) != 45 {
+		t.Fatal("oversized limit should clamp to 45")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: test ==", "a", "bb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 10 {
+		t.Fatalf("Table1 rows = %d", len(tab.Rows))
+	}
+}
+
+// parsePct extracts a float from "12.3%".
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig3SuiteContrast(t *testing.T) {
+	o := tinyOptions()
+	o.MaxWorkloads = 2
+	tab, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// QMM-like must have far higher iSTLB MPKI than SPEC-like.
+	specMPKI, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	qmmMPKI, _ := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if qmmMPKI <= specMPKI*5 {
+		t.Fatalf("QMM (%v) should dwarf SPEC (%v) iSTLB MPKI", qmmMPKI, specMPKI)
+	}
+}
+
+func TestFig9OrderingHolds(t *testing.T) {
+	o := tinyOptions()
+	tab, err := Fig9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = parsePct(t, r[1])
+	}
+	// The paper's key orderings on this figure.
+	if byName["Perfect iSTLB"] <= byName["MP (orig 128e)"] {
+		t.Error("Perfect should dominate bounded MP")
+	}
+	if byName["MP-unbounded-inf"] <= byName["MP (orig 128e)"] {
+		t.Error("unbounded MP should dominate bounded MP")
+	}
+}
+
+func TestFig15MorriganWins(t *testing.T) {
+	// Ordering needs warmed prediction tables: run a larger interval than
+	// the other experiment smoke tests.
+	o := tinyOptions()
+	o.Warmup, o.Measure = 200_000, 1_200_000
+	tab, err := Fig15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = parsePct(t, r[1])
+	}
+	for _, rival := range []string{"SP", "DP (ISO)", "ASP (ISO)", "MP (ISO)"} {
+		if byName["Morrigan"] <= byName[rival] {
+			t.Errorf("Morrigan (%v%%) should beat %s (%v%%)", byName["Morrigan"], rival, byName[rival])
+		}
+	}
+}
+
+func TestFig13CoverageGrowsWithBudget(t *testing.T) {
+	o := tinyOptions()
+	o.MaxWorkloads = 2
+	tab, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parsePct(t, tab.Rows[0][1])
+	last := parsePct(t, tab.Rows[len(tab.Rows)-1][1])
+	if last <= first {
+		t.Fatalf("coverage did not grow with budget: %v .. %v", first, last)
+	}
+}
+
+func TestFig16DemandRefsCut(t *testing.T) {
+	o := tinyOptions()
+	o.Warmup, o.Measure = 200_000, 1_200_000
+	tab, err := Fig16(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = r
+	}
+	mor := parsePct(t, byName["Morrigan"][1])
+	mp := parsePct(t, byName["MP (ISO)"][1])
+	if mor >= mp {
+		t.Fatalf("Morrigan demand refs (%v%%) should be below MP's (%v%%)", mor, mp)
+	}
+	if mor >= 95 {
+		t.Fatalf("Morrigan demand refs = %v%%, expected a real cut", mor)
+	}
+}
+
+func TestFig20SMT(t *testing.T) {
+	o := tinyOptions()
+	tab, err := Fig20(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range tab.Rows {
+		byName[r[0]] = parsePct(t, r[1])
+	}
+	if byName["Morrigan(2x)+FNL+MMA"] <= 0 {
+		t.Error("combined SMT configuration should speed up")
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	for _, o := range []Options{DefaultOptions(), QuickOptions(), FullOptions()} {
+		if o.Measure == 0 || o.Warmup == 0 {
+			t.Errorf("preset with zero scale: %+v", o)
+		}
+	}
+	if QuickOptions().Measure >= DefaultOptions().Measure {
+		t.Error("quick should be smaller than default")
+	}
+	if FullOptions().Measure <= DefaultOptions().Measure {
+		t.Error("full should be larger than default")
+	}
+}
+
+func TestSubstrateExperiments(t *testing.T) {
+	o := tinyOptions()
+	o.MaxWorkloads = 2
+	for _, id := range []string{"pagetables", "contextswitch", "hugepages", "icacheselect"} {
+		tab, err := Registry[id](o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) < 3 {
+			t.Errorf("%s: only %d rows", id, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row %v does not match header %v", id, row, tab.Header)
+			}
+		}
+	}
+}
+
+func TestAblationsRows(t *testing.T) {
+	o := tinyOptions()
+	o.MaxWorkloads = 2
+	tab, err := Ablations(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("ablation rows = %d, want 7", len(tab.Rows))
+	}
+}

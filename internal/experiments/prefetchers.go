@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/core"
+	"morrigan/internal/sim"
+	"morrigan/internal/stats"
+	"morrigan/internal/tlbprefetch"
+)
+
+// MorriganStorageBits is the default configuration's budget, the ISO point
+// of Sections 6.2-6.4 (the paper's 3.76 KB).
+var MorriganStorageBits = core.New(core.DefaultConfig()).StorageBits()
+
+// ISO-storage baseline prefetcher constructors (Section 6.2: "configuration
+// parameters ... match the storage budget of Morrigan").
+func isoASP() *tlbprefetch.ASP {
+	per := tlbprefetch.TagBits + tlbprefetch.VPNStorageBits + 16 + tlbprefetch.ConfBits
+	return tlbprefetch.NewASP(MorriganStorageBits / per)
+}
+
+func isoDP() *tlbprefetch.DP {
+	per := tlbprefetch.TagBits + 2*16
+	return tlbprefetch.NewDP(MorriganStorageBits / per)
+}
+
+func isoMP() *tlbprefetch.MP {
+	per := tlbprefetch.TagBits + 2*tlbprefetch.VPNStorageBits
+	n := MorriganStorageBits / per
+	n -= n % 4
+	return tlbprefetch.NewMP(n, 4)
+}
+
+// contender is one configuration in a comparison experiment.
+type contender struct {
+	name string
+	mk   func() sim.Config
+}
+
+// aggregate accumulates per-workload results for one contender.
+type aggregate struct {
+	speedups []float64 // percent vs baseline
+	coverage []float64 // PB hits / iSTLB misses, percent
+	demand   []float64 // demand instruction walk refs, % of baseline
+	prefetch []float64 // prefetch walk refs, % of baseline demand refs
+	iripHits uint64
+	sdpHits  uint64
+	levels   [arch.NumLevels]uint64 // prefetch walk refs by serving level
+	stats    []sim.Stats
+}
+
+// compare runs every contender against the no-prefetching baseline over the
+// QMM suite.
+func (o Options) compare(contenders []contender) (map[string]*aggregate, error) {
+	out := make(map[string]*aggregate, len(contenders))
+	for _, c := range contenders {
+		out[c.name] = &aggregate{}
+	}
+	for _, w := range o.qmm() {
+		base, err := o.run(sim.DefaultConfig(), w)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range contenders {
+			st, err := o.run(c.mk(), w)
+			if err != nil {
+				return nil, err
+			}
+			a := out[c.name]
+			a.speedups = append(a.speedups, stats.Speedup(uint64(base.Cycles), uint64(st.Cycles)))
+			a.coverage = append(a.coverage, stats.Percent(st.PBHits, st.ISTLBMisses))
+			a.demand = append(a.demand, 100*stats.Ratio(st.DemandIWalkRefs, base.DemandIWalkRefs))
+			a.prefetch = append(a.prefetch, 100*stats.Ratio(st.PrefetchRefs, base.DemandIWalkRefs))
+			a.iripHits += st.IRIPHits
+			a.sdpHits += st.SDPHits
+			for l := 0; l < arch.NumLevels; l++ {
+				a.levels[l] += st.PrefetchRefsByLevel[l]
+			}
+			a.stats = append(a.stats, st)
+			o.progress("%s %s: %+.2f%%", w.Name, c.name, a.speedups[len(a.speedups)-1])
+		}
+	}
+	return out, nil
+}
+
+// Fig9 compares the prior dSTLB prefetchers (original configurations), the
+// idealized unbounded Markov prefetchers, and the Perfect iSTLB upper bound
+// (paper Figure 9 plus the Section 3.4 idealizations).
+func Fig9(o Options) (*Table, error) {
+	contenders := []contender{
+		{"SP", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.SP{}
+			return c
+		}},
+		{"ASP (orig 256e)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.NewASP(256)
+			return c
+		}},
+		{"DP (orig 256e)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.NewDP(256)
+			return c
+		}},
+		{"MP (orig 128e)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.NewMP(128, 4)
+			return c
+		}},
+		{"MP-unbounded-2", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.NewUnboundedMP(2)
+			return c
+		}},
+		{"MP-unbounded-inf", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.NewUnboundedMP(0)
+			return c
+		}},
+		{"Perfect iSTLB", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.PerfectISTLB = true
+			return c
+		}},
+	}
+	agg, err := o.compare(contenders)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig9",
+		Title:  "dSTLB prefetchers on the iSTLB miss stream vs Perfect iSTLB (geomean speedup)",
+		Header: []string{"prefetcher", "speedup", "coverage"},
+		Notes: []string{
+			"paper: SP 1.6%, ASP ~0.4%, DP ~0.1%, MP 0.2%, MP-unb-2 7.9%, MP-unb-inf 10.3%, Perfect 11.1%",
+			"ordering preserved: sequential/stride/distance fail, unbounded Markov approaches Perfect",
+		},
+	}
+	for _, c := range contenders {
+		a := agg[c.name]
+		t.AddRow(c.name, pct(stats.GeoMeanSpeedup(a.speedups)), pct(stats.Mean(a.coverage)))
+	}
+	return t, nil
+}
+
+// Fig15 is the ISO-storage comparison between Morrigan and the dSTLB
+// prefetchers (paper Figure 15), including the IRIP/SDP PB-hit split.
+func Fig15(o Options) (*Table, error) {
+	contenders := []contender{
+		{"SP", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.SP{}
+			return c
+		}},
+		{"DP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoDP()
+			return c
+		}},
+		{"ASP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoASP()
+			return c
+		}},
+		{"MP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoMP()
+			return c
+		}},
+		{"Morrigan", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = core.New(core.DefaultConfig())
+			return c
+		}},
+	}
+	agg, err := o.compare(contenders)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig15",
+		Title:  fmt.Sprintf("ISO-storage comparison at %.2f KB (geomean speedup)", float64(MorriganStorageBits)/8192),
+		Header: []string{"prefetcher", "speedup", "coverage"},
+		Notes:  []string{"paper: SP 1.6%, DP 0.1%, ASP 0.4%, MP 0.7%, Morrigan 7.6%; 93%/7% IRIP/SDP hit split"},
+	}
+	for _, c := range contenders {
+		a := agg[c.name]
+		t.AddRow(c.name, pct(stats.GeoMeanSpeedup(a.speedups)), pct(stats.Mean(a.coverage)))
+	}
+	m := agg["Morrigan"]
+	if hits := m.iripHits + m.sdpHits; hits > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured PB-hit split: IRIP %.0f%%, SDP %.0f%%",
+			stats.Percent(m.iripHits, hits), stats.Percent(m.sdpHits, hits)))
+	}
+	return t, nil
+}
+
+// Fig16 reports page-walk memory references, normalized to the baseline's
+// demand references (paper Figure 16), plus the serving-level split of
+// Morrigan's prefetch references.
+func Fig16(o Options) (*Table, error) {
+	contenders := []contender{
+		{"SP", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = tlbprefetch.SP{}
+			return c
+		}},
+		{"ASP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoASP()
+			return c
+		}},
+		{"DP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoDP()
+			return c
+		}},
+		{"MP (ISO)", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = isoMP()
+			return c
+		}},
+		{"Morrigan", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = core.New(core.DefaultConfig())
+			return c
+		}},
+	}
+	agg, err := o.compare(contenders)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Page-walk memory references, normalized to baseline demand references",
+		Header: []string{"prefetcher", "demand refs", "prefetch refs"},
+		Notes: []string{
+			"paper: demand refs 89/99/98/92/31%; prefetch refs +20/+1/+6/+7/+117%",
+			"paper level split of Morrigan's prefetch refs: L1 20%, L2 25%, LLC 45%, DRAM 10%",
+		},
+	}
+	for _, c := range contenders {
+		a := agg[c.name]
+		t.AddRow(c.name, pct(stats.Mean(a.demand)), pct(stats.Mean(a.prefetch)))
+	}
+	m := agg["Morrigan"]
+	var total uint64
+	for _, v := range m.levels {
+		total += v
+	}
+	if total > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"measured Morrigan prefetch-ref levels: L1 %.0f%%, L2 %.0f%%, LLC %.0f%%, DRAM %.0f%%",
+			stats.Percent(m.levels[arch.LevelL1], total),
+			stats.Percent(m.levels[arch.LevelL2], total),
+			stats.Percent(m.levels[arch.LevelLLC], total),
+			stats.Percent(m.levels[arch.LevelDRAM], total)))
+	}
+	return t, nil
+}
+
+// Fig17 compares Morrigan against the ISO-storage single-table
+// Morrigan-mono ablation (paper Figure 17).
+func Fig17(o Options) (*Table, error) {
+	contenders := []contender{
+		{"Morrigan", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = core.New(core.DefaultConfig())
+			return c
+		}},
+		{"Morrigan-mono", func() sim.Config {
+			c := sim.DefaultConfig()
+			c.Prefetcher = core.New(core.MonoConfig())
+			return c
+		}},
+	}
+	agg, err := o.compare(contenders)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Ensemble (448 effective entries) vs single 203-entry 8-slot table, ISO-storage",
+		Header: []string{"design", "speedup", "coverage"},
+		Notes:  []string{"paper: Morrigan outperforms mono by 1.9% on average"},
+	}
+	for _, c := range contenders {
+		a := agg[c.name]
+		t.AddRow(c.name, pct(stats.GeoMeanSpeedup(a.speedups)), pct(stats.Mean(a.coverage)))
+	}
+	mor := stats.GeoMeanSpeedup(agg["Morrigan"].speedups)
+	mono := stats.GeoMeanSpeedup(agg["Morrigan-mono"].speedups)
+	t.Notes = append(t.Notes, fmt.Sprintf("measured gap: %.2f%%", mor-mono))
+	return t, nil
+}

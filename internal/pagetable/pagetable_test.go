@@ -1,0 +1,206 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"morrigan/internal/arch"
+)
+
+func TestDemandWalkMapsPage(t *testing.T) {
+	pt := New(1)
+	vpn := arch.VPN(0x400)
+	if _, ok := pt.Lookup(vpn); ok {
+		t.Fatal("unmapped page present")
+	}
+	p := pt.Walk(vpn, true)
+	if !p.Present || p.Depth != arch.RadixLevels {
+		t.Fatalf("demand walk: %+v", p)
+	}
+	pte, ok := pt.Lookup(vpn)
+	if !ok || pte.PFN != p.Leaf {
+		t.Fatalf("Lookup after map: %+v ok=%v", pte, ok)
+	}
+	if pt.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d", pt.MappedPages())
+	}
+	// Root + 3 interior/leaf nodes for a fresh path.
+	if pt.Nodes() != 4 {
+		t.Errorf("Nodes = %d, want 4", pt.Nodes())
+	}
+}
+
+func TestPrefetchWalkDoesNotMap(t *testing.T) {
+	pt := New(1)
+	vpn := arch.VPN(0x400)
+	p := pt.Walk(vpn, false)
+	if p.Present {
+		t.Fatal("prefetch walk mapped a page")
+	}
+	if p.Depth != 1 {
+		t.Fatalf("Depth = %d, want 1 (only PML4 exists)", p.Depth)
+	}
+	if _, ok := pt.Lookup(vpn); ok {
+		t.Fatal("prefetch walk had side effects")
+	}
+	if pt.MappedPages() != 0 {
+		t.Errorf("MappedPages = %d, want 0", pt.MappedPages())
+	}
+}
+
+func TestPrefetchWalkPartialDepth(t *testing.T) {
+	pt := New(1)
+	// Map a page; a neighbour in the same leaf node should reach depth 4
+	// but be absent.
+	pt.Walk(arch.VPN(0x400), true)
+	p := pt.Walk(arch.VPN(0x401), false)
+	if p.Present {
+		t.Fatal("unmapped neighbour reported present")
+	}
+	if p.Depth != arch.RadixLevels {
+		t.Fatalf("Depth = %d, want %d", p.Depth, arch.RadixLevels)
+	}
+	// A page in a different PDP subtree only sees the root.
+	far := arch.VPN(1) << 27
+	if p := pt.Walk(far, false); p.Depth != 1 {
+		t.Fatalf("far page Depth = %d, want 1", p.Depth)
+	}
+}
+
+func TestWalkDeterministicAndStable(t *testing.T) {
+	pt := New(7)
+	vpn := arch.VPN(0x12345)
+	first := pt.Walk(vpn, true)
+	second := pt.Walk(vpn, true)
+	if first != second {
+		t.Fatalf("remapping changed translation: %+v vs %+v", first, second)
+	}
+	if pt.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d, want 1", pt.MappedPages())
+	}
+	// Same seed, same mapping order => same frames.
+	pt2 := New(7)
+	if got := pt2.Walk(vpn, true); got.Leaf != first.Leaf {
+		t.Errorf("frame allocation not deterministic: %#x vs %#x", got.Leaf, first.Leaf)
+	}
+}
+
+func TestDistinctPagesGetDistinctFrames(t *testing.T) {
+	pt := New(3)
+	seen := map[arch.PFN]arch.VPN{}
+	f := func(raw uint32) bool {
+		vpn := arch.VPN(raw)
+		p := pt.Walk(vpn, true)
+		if prev, dup := seen[p.Leaf]; dup && prev != vpn {
+			return false
+		}
+		seen[p.Leaf] = vpn
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafPTELineContiguity(t *testing.T) {
+	pt := New(1)
+	base := arch.VPN(0x4000)
+	var addrs [8]arch.PAddr
+	for i := arch.VPN(0); i < 8; i++ {
+		p := pt.Walk(base+i, true)
+		addrs[i] = p.Addrs[arch.RadixLevels-1]
+	}
+	for i := 1; i < 8; i++ {
+		if addrs[i] != addrs[0]+arch.PAddr(i*arch.PTESize) {
+			t.Fatalf("leaf PTEs not contiguous: %#x vs %#x", addrs[i], addrs[0])
+		}
+	}
+	if addrs[0].Line() != addrs[7].Line() {
+		t.Fatal("8 aligned PTEs should share one cache line")
+	}
+	// The 9th PTE lands on the next line.
+	p9 := pt.Walk(base+8, true)
+	if p9.Addrs[3].Line() == addrs[0].Line() {
+		t.Fatal("PTE of next group should be on a different line")
+	}
+}
+
+func TestLineNeighbors(t *testing.T) {
+	pt := New(1)
+	base := arch.VPN(0x800) // line-group aligned
+	pt.Walk(base, true)
+	pt.Walk(base+3, true)
+	pt.Walk(base+7, true)
+	got := pt.LineNeighbors(base + 3)
+	want := map[arch.VPN]bool{base: true, base + 7: true}
+	if len(got) != 2 {
+		t.Fatalf("LineNeighbors = %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected neighbor %#x", v)
+		}
+	}
+	// Unmapped neighbours and self never appear.
+	for _, v := range got {
+		if v == base+3 {
+			t.Error("self returned as neighbor")
+		}
+	}
+}
+
+func TestMarkAccessed(t *testing.T) {
+	pt := New(1)
+	vpn := arch.VPN(0x99)
+	if pt.MarkAccessed(vpn) {
+		t.Fatal("unmapped page marked accessed")
+	}
+	pt.Walk(vpn, true)
+	if !pt.MarkAccessed(vpn) {
+		t.Fatal("first mark should transition the bit")
+	}
+	if pt.MarkAccessed(vpn) {
+		t.Fatal("second mark should be a no-op")
+	}
+	pte, _ := pt.Lookup(vpn)
+	if !pte.Accessed {
+		t.Fatal("accessed bit not visible via Lookup")
+	}
+}
+
+func TestEnsureMapped(t *testing.T) {
+	pt := New(1)
+	f := pt.EnsureMapped(0x555)
+	if f2 := pt.EnsureMapped(0x555); f2 != f {
+		t.Fatalf("EnsureMapped not idempotent: %#x vs %#x", f, f2)
+	}
+	if pte, ok := pt.Lookup(0x555); !ok || pte.PFN != f {
+		t.Fatal("EnsureMapped result not visible")
+	}
+}
+
+func TestWalkPathAddrsWithinNodes(t *testing.T) {
+	pt := New(5)
+	f := func(raw uint64) bool {
+		vpn := arch.VPN(raw & ((1 << arch.VPNBits) - 1))
+		p := pt.Walk(vpn, true)
+		if p.Depth != arch.RadixLevels || !p.Present {
+			return false
+		}
+		for i := 0; i < p.Depth; i++ {
+			// Every PTE address must be 8-byte aligned and within a
+			// kernel-region frame.
+			if p.Addrs[i]%arch.PTESize != 0 {
+				return false
+			}
+			if p.Addrs[i].Page() < 0x0010_0000 || p.Addrs[i].Page() >= 0x0100_0000 {
+				return false
+			}
+		}
+		// Leaf frame must be in the user region.
+		return p.Leaf >= 0x0100_0000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package ptw models the page table walker and its page-structure caches
+// (PSCs, Intel's MMU caches), per Table 1 of the paper: a 3-level split PSC
+// (PML4 2-entry fully associative, PDP 4-entry fully associative, PD
+// 32-entry 4-way) in front of a walker that issues serialized memory
+// references through the cache hierarchy, with a 4-entry MSHR shared between
+// demand and prefetch walks.
+package ptw
+
+import "morrigan/internal/arch"
+
+// pscEntry caches one partial translation: the VPN prefix consumed through a
+// given radix level.
+type pscEntry struct {
+	prefix uint64
+	tid    arch.ThreadID
+	used   uint64
+	valid  bool
+}
+
+// pscLevel is one of the three split PSC structures.
+type pscLevel struct {
+	sets, ways int
+	ents       []pscEntry
+	tick       uint64
+	hits       uint64
+	lookups    uint64
+}
+
+func newPSCLevel(entries, ways int) *pscLevel {
+	return &pscLevel{sets: entries / ways, ways: ways, ents: make([]pscEntry, entries)}
+}
+
+func (p *pscLevel) set(prefix uint64) []pscEntry {
+	s := int(prefix % uint64(p.sets))
+	return p.ents[s*p.ways : (s+1)*p.ways]
+}
+
+func (p *pscLevel) lookup(tid arch.ThreadID, prefix uint64) bool {
+	p.tick++
+	p.lookups++
+	set := p.set(prefix)
+	for i := range set {
+		if set[i].valid && set[i].prefix == prefix && set[i].tid == tid {
+			set[i].used = p.tick
+			p.hits++
+			return true
+		}
+	}
+	return false
+}
+
+func (p *pscLevel) insert(tid arch.ThreadID, prefix uint64) {
+	p.tick++
+	set := p.set(prefix)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].prefix == prefix && set[i].tid == tid {
+			set[i].used = p.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			set[victim] = pscEntry{prefix: prefix, tid: tid, used: p.tick, valid: true}
+			return
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = pscEntry{prefix: prefix, tid: tid, used: p.tick, valid: true}
+}
+
+// PSCConfig sizes the three split PSC levels. Fields are (entries, ways).
+type PSCConfig struct {
+	PML4Entries, PML4Ways int
+	PDPEntries, PDPWays   int
+	PDEntries, PDWays     int
+	Latency               arch.Cycle
+}
+
+// DefaultPSCConfig mirrors Table 1.
+func DefaultPSCConfig() PSCConfig {
+	return PSCConfig{
+		PML4Entries: 2, PML4Ways: 2, // fully associative
+		PDPEntries: 4, PDPWays: 4, // fully associative
+		PDEntries: 32, PDWays: 4,
+		Latency: 2,
+	}
+}
+
+// PSC is the 3-level split page-structure cache. Its three structures cache
+// the translation prefixes consumed through the three deepest interior radix
+// levels (PML4, PDP, PD on a 4-level table; PML4, PDP, PD again on a 5-level
+// table, leaving the PML5 level uncached); a hit lets the walker skip every
+// level at or above the hit and begin below it.
+type PSC struct {
+	levels      [3]*pscLevel
+	latency     arch.Cycle
+	totalLevels int // radix levels of the table the walker traverses
+	base        int // radix level cached by structure 0
+}
+
+// NewPSC builds the split PSC for a table with the given total radix levels.
+func NewPSC(cfg PSCConfig, totalLevels int) *PSC {
+	base := totalLevels - 1 - 3
+	if base < 0 {
+		base = 0
+	}
+	return &PSC{
+		levels: [3]*pscLevel{
+			newPSCLevel(cfg.PML4Entries, cfg.PML4Ways),
+			newPSCLevel(cfg.PDPEntries, cfg.PDPWays),
+			newPSCLevel(cfg.PDEntries, cfg.PDWays),
+		},
+		latency:     cfg.Latency,
+		totalLevels: totalLevels,
+		base:        base,
+	}
+}
+
+// prefix returns the VPN prefix consumed through the given radix level
+// (inclusive).
+func (p *PSC) prefix(vpn arch.VPN, radixLevel int) uint64 {
+	shift := uint((p.totalLevels - 1 - radixLevel) * arch.RadixBits)
+	return uint64(vpn) >> shift
+}
+
+// structFor maps a radix level to its PSC structure index, or -1.
+func (p *PSC) structFor(radixLevel int) int {
+	j := radixLevel - p.base
+	if j < 0 || j >= len(p.levels) {
+		return -1
+	}
+	return j
+}
+
+// Lookup probes all structures in parallel and returns the radix level at
+// which the walk may start: 0 means no PSC hit (walk from the root);
+// totalLevels-1 means only the leaf access remains.
+func (p *PSC) Lookup(tid arch.ThreadID, vpn arch.VPN) int {
+	start := 0
+	for j := len(p.levels) - 1; j >= 0; j-- {
+		radixLevel := p.base + j
+		if radixLevel >= p.totalLevels-1 {
+			continue
+		}
+		if p.levels[j].lookup(tid, p.prefix(vpn, radixLevel)) {
+			start = radixLevel + 1
+			break
+		}
+	}
+	return start
+}
+
+// Fill records the prefixes resolved by a walk that consulted radix levels
+// [from, resolvedThrough). Only interior levels with a PSC structure and an
+// existing child node are cached.
+func (p *PSC) Fill(tid arch.ThreadID, vpn arch.VPN, from, resolvedThrough int) {
+	for level := from; level < resolvedThrough && level < p.totalLevels-1; level++ {
+		if j := p.structFor(level); j >= 0 {
+			p.levels[j].insert(tid, p.prefix(vpn, level))
+		}
+	}
+}
+
+// Latency returns the PSC lookup latency.
+func (p *PSC) Latency() arch.Cycle { return p.latency }
+
+// HitRate returns aggregate PSC hits/lookups across levels.
+func (p *PSC) HitRate() float64 {
+	var h, l uint64
+	for _, lv := range p.levels {
+		h += lv.hits
+		l += lv.lookups
+	}
+	if l == 0 {
+		return 0
+	}
+	return float64(h) / float64(l)
+}
+
+// Flush invalidates all PSC entries (context switch).
+func (p *PSC) Flush() {
+	for _, lv := range p.levels {
+		for i := range lv.ents {
+			lv.ents[i].valid = false
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/cache"
+	"morrigan/internal/cpu"
+	"morrigan/internal/icache"
+	"morrigan/internal/pagetable"
+	"morrigan/internal/ptw"
+	"morrigan/internal/tlb"
+	"morrigan/internal/tlbprefetch"
+	"morrigan/internal/trace"
+)
+
+// icacheToken marks PB entries produced by page-crossing I-cache prefetches
+// (Section 3.5's FNL+MMA+TLB configuration).
+type icacheToken struct{}
+
+// thread is the per-hardware-thread front-end state.
+type thread struct {
+	reader trace.Reader
+	off    arch.VAddr
+
+	curLine uint64 // virtual line last fetched
+	curVPN  arch.VPN
+	curPFN  arch.PFN
+	haveVPN bool
+	done    bool
+}
+
+// Simulator is one simulated machine executing one or two threads.
+type Simulator struct {
+	cfg Config
+
+	pt     pagetable.Translator
+	ptHuge *pagetable.Table // non-nil when HugeDataPages is enabled
+	mem    *cache.Hierarchy
+	walker *ptw.Walker
+	itlb   *tlb.TLB
+	dtlb   *tlb.TLB
+	stlb   *tlb.TLB
+	pb     *tlbprefetch.PrefetchBuffer
+	pf     tlbprefetch.Prefetcher
+	icpf   icache.Prefetcher
+	core   *cpu.Core
+
+	threads []*thread
+
+	// pendingLines records in-flight instruction line prefetches: physical
+	// line -> completion cycle. A demand fetch arriving earlier pays the
+	// remainder (late-prefetch timeliness).
+	pendingLines map[uint64]arch.Cycle
+
+	// nextSwitch is the instruction count of the next context switch.
+	nextSwitch uint64
+
+	c counters
+}
+
+// counters are the raw event tallies the Stats snapshot is derived from.
+type counters struct {
+	istlbAccesses   uint64
+	istlbMisses     uint64
+	contextSwitches uint64
+	dstlbAccesses   uint64
+	dstlbMisses     uint64
+	pbHits          uint64
+	pbLateCycles    arch.Cycle
+
+	demandIWalks    uint64
+	demandIWalkRefs uint64
+	iWalkLatSum     arch.Cycle
+	demandDWalks    uint64
+	demandDWalkRefs uint64
+	dWalkLatSum     arch.Cycle
+
+	prefIssued    uint64
+	prefDiscarded uint64
+	prefWalks     uint64
+	prefFreePTEs  uint64
+
+	icachePBHits    uint64
+	icacheXWalks    uint64
+	icachePBServed  uint64
+	icacheXPrefetch uint64
+
+	correctingWalks uint64
+}
+
+// New builds a simulator over the given threads (1 for single-threaded runs,
+// 2 for the SMT colocation experiments).
+func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(threads) < 1 || len(threads) > 2 {
+		return nil, fmt.Errorf("sim: %d threads; supported: 1 or 2", len(threads))
+	}
+	var pt pagetable.Translator
+	switch cfg.PageTable {
+	case PageTableRadix5:
+		pt = pagetable.NewWithLevels(cfg.Seed, 5)
+	case PageTableHashed:
+		pt = pagetable.NewHashed(cfg.Seed, pagetable.DefaultHashedBuckets)
+	default:
+		pt = pagetable.New(cfg.Seed)
+	}
+	s := &Simulator{
+		cfg:          cfg,
+		pt:           pt,
+		mem:          cache.NewHierarchy(cfg.Cache),
+		core:         cpu.New(cfg.Core),
+		pb:           tlbprefetch.NewPrefetchBuffer(cfg.PBEntries, cfg.PBLatency),
+		pendingLines: make(map[uint64]arch.Cycle),
+	}
+	s.itlb, s.dtlb, s.stlb = cfg.tlbs()
+	s.walker = ptw.New(s.pt, s.mem, cfg.Walker)
+	s.pf = cfg.Prefetcher
+	if s.pf == nil {
+		s.pf = tlbprefetch.None{}
+	}
+	s.icpf = cfg.ICachePrefetcher
+	if s.icpf == nil {
+		s.icpf = icache.NextLine{}
+	}
+	for _, ts := range threads {
+		if ts.Reader == nil {
+			return nil, fmt.Errorf("sim: thread with nil reader")
+		}
+		s.threads = append(s.threads, &thread{reader: ts.Reader, off: ts.VAOffset})
+	}
+	if cfg.HugeDataPages {
+		// Map each thread's synthetic data region with 2 MB pages. Code
+		// regions stay at 4 KB, as on real systems (Section 5).
+		rt := pt.(*pagetable.Table)
+		s.ptHuge = rt
+		for _, th := range s.threads {
+			off := arch.VPN(th.off >> arch.PageShift)
+			rt.AddHugeRegion(trace.DataBaseVPN+off, trace.DataBaseVPN+off+1<<15)
+		}
+	}
+	s.nextSwitch = cfg.ContextSwitchInterval
+	if cfg.CorrectingWalks {
+		s.pb.SetEvictionHandler(func(tid arch.ThreadID, vpn arch.VPN) {
+			if s.walker.CorrectAccessed(tid, vpn, s.now()) {
+				s.c.correctingWalks++
+			}
+		})
+	}
+	return s, nil
+}
+
+// now returns the current simulation time. The interval core model advances
+// time by instruction dispatch plus charged stalls; the walker and PB use
+// this clock for occupancy and timeliness.
+func (s *Simulator) now() arch.Cycle { return s.core.Cycles() }
+
+// Run executes warmup instructions, resets all statistics, then executes
+// measure instructions and returns the snapshot, mirroring the paper's
+// 50M-warmup/100M-measure methodology at whatever scale the caller picks.
+func (s *Simulator) Run(warmup, measure uint64) (Stats, error) {
+	if warmup > 0 {
+		if err := s.run(warmup); err != nil {
+			return Stats{}, err
+		}
+	}
+	s.resetStats()
+	if err := s.run(measure); err != nil {
+		return Stats{}, err
+	}
+	return s.Snapshot(), nil
+}
+
+// run executes n instructions, interleaving threads in SMTBlock-sized
+// groups. It stops early (without error) when every thread's trace ends.
+func (s *Simulator) run(n uint64) error {
+	var rec trace.Record
+	executed := uint64(0)
+	ti := 0
+	for executed < n {
+		th := s.threads[ti]
+		if th.done {
+			ti = (ti + 1) % len(s.threads)
+			if s.allDone() {
+				return nil
+			}
+			continue
+		}
+		for b := 0; b < s.cfg.SMTBlock && executed < n; b++ {
+			err := th.reader.Next(&rec)
+			if err == io.EOF {
+				th.done = true
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("sim: reading trace: %w", err)
+			}
+			s.step(arch.ThreadID(ti), th, &rec)
+			executed++
+		}
+		ti = (ti + 1) % len(s.threads)
+	}
+	return nil
+}
+
+func (s *Simulator) allDone() bool {
+	for _, th := range s.threads {
+		if !th.done {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one instruction.
+func (s *Simulator) step(tid arch.ThreadID, th *thread, rec *trace.Record) {
+	if s.cfg.ContextSwitchInterval > 0 && s.core.Retired() >= s.nextSwitch {
+		s.contextSwitch()
+		s.nextSwitch = s.core.Retired() + s.cfg.ContextSwitchInterval
+	}
+	pc := rec.PC + th.off
+	if line := pc.Line(); line != th.curLine || !th.haveVPN {
+		s.fetch(tid, th, pc)
+		th.curLine = line
+	}
+	s.core.Retire(1)
+	if rec.Load != 0 {
+		s.data(tid, rec.Load+th.off, false)
+	}
+	if rec.Store != 0 {
+		s.data(tid, rec.Store+th.off, true)
+	}
+}
+
+// fetch performs the front-end work for a new instruction line: address
+// translation through the TLB hierarchy (with PB and demand walks on iSTLB
+// misses, engaging the prefetcher), the L1I access, and I-cache prefetching.
+func (s *Simulator) fetch(tid arch.ThreadID, th *thread, pc arch.VAddr) {
+	vpn := pc.Page()
+	if !th.haveVPN || vpn != th.curVPN {
+		th.curPFN = s.translateInstr(tid, pc, vpn)
+		th.curVPN = vpn
+		th.haveVPN = true
+	}
+	paddr := arch.Translate(th.curPFN, pc)
+	res := s.mem.Access(cache.KindFetch, paddr)
+	miss := res.Level != arch.LevelL1
+	if miss {
+		s.core.FetchMiss(res.Latency - s.mem.FillLatency(arch.LevelL1))
+	} else if ready, ok := s.pendingLines[paddr.Line()]; ok {
+		// The line was prefetched but the fill has not completed yet; the
+		// fetch waits out the remainder (late prefetch).
+		if now := s.now(); ready > now {
+			s.core.FetchMiss(ready - now)
+		}
+		delete(s.pendingLines, paddr.Line())
+	}
+	for _, vline := range s.icpf.OnFetch(pc.Line(), miss) {
+		s.prefetchInstrLine(tid, th, vline)
+	}
+}
+
+// translateInstr resolves the instruction-side translation of vpn, charging
+// front-end stalls per the paper's translation flow (Figure 1).
+func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) arch.PFN {
+	if pfn, ok := s.itlb.Lookup(tid, vpn); ok {
+		return pfn
+	}
+	// I-TLB miss: the STLB is probed (an iSTLB access).
+	s.c.istlbAccesses++
+	s.core.FrontEndStall(cpu.StallITLB, s.stlb.Latency())
+	if s.cfg.PerfectISTLB {
+		pfn := s.pt.EnsureMapped(vpn)
+		s.stlb.Insert(tid, vpn, pfn)
+		s.itlb.Insert(tid, vpn, pfn)
+		return pfn
+	}
+	if pfn, ok := s.stlb.Lookup(tid, vpn); ok {
+		s.itlb.Insert(tid, vpn, pfn)
+		return pfn
+	}
+
+	// iSTLB miss.
+	s.c.istlbMisses++
+	if s.cfg.OnISTLBMiss != nil {
+		s.cfg.OnISTLBMiss(tid, vpn)
+	}
+	missTime := s.now()
+
+	var pfn arch.PFN
+	pbHit := false
+	if !s.cfg.PrefetchIntoSTLB {
+		s.core.FrontEndStall(cpu.StallITLB, s.pb.Latency())
+		if hit, token, ready, ok := s.pb.Lookup(tid, vpn); ok {
+			pbHit = true
+			pfn = hit
+			s.c.pbHits++
+			if now := s.now(); ready > now {
+				// Late prefetch: wait for the in-flight walk's remainder.
+				s.c.pbLateCycles += ready - now
+				s.core.FrontEndStall(cpu.StallIWalk, ready-now)
+			}
+			if _, fromICache := token.(icacheToken); fromICache {
+				s.c.icachePBServed++
+			}
+			s.pf.OnPrefetchHit(token)
+		}
+	}
+	if !pbHit {
+		walk := s.walker.Walk(tid, vpn, s.now(), true)
+		s.core.FrontEndStall(cpu.StallIWalk, walk.Latency+walk.Queued)
+		s.c.demandIWalks++
+		s.c.demandIWalkRefs += uint64(walk.MemRefs)
+		s.c.iWalkLatSum += walk.Latency
+		pfn = walk.PFN
+	}
+	s.stlb.Insert(tid, vpn, pfn)
+	s.itlb.Insert(tid, vpn, pfn)
+
+	// Engage the prefetcher on every iSTLB miss, PB hit or not (Figure 12
+	// step 7). Prefetch walks start at miss time, concurrently with the
+	// demand walk (they use separate walker ports; Section 2.1 notes
+	// prefetch walks are triggered in the background).
+	s.issuePrefetches(tid, missTime, s.pf.OnMiss(tid, pc, vpn))
+	return pfn
+}
+
+// issuePrefetches processes the prefetcher's requests: dedup against the PB,
+// run prefetch page walks in the background, install results into the PB (or
+// the STLB under P2TLB), and exploit page table locality for spatial
+// requests.
+func (s *Simulator) issuePrefetches(tid arch.ThreadID, at arch.Cycle, reqs []tlbprefetch.Request) {
+	for _, r := range reqs {
+		s.c.prefIssued++
+		if s.cfg.PrefetchIntoSTLB {
+			if s.stlb.Contains(tid, r.VPN) {
+				s.c.prefDiscarded++
+				continue
+			}
+		} else if s.pb.Contains(tid, r.VPN) {
+			s.c.prefDiscarded++
+			continue
+		}
+		walk := s.walker.Walk(tid, r.VPN, at, false)
+		if walk.MemRefs == 0 && !walk.Present {
+			continue // dropped for lack of walker MSHRs
+		}
+		s.c.prefWalks++
+		if !walk.Present {
+			continue // non-faulting prefetch to an unmapped page
+		}
+		ready := at + walk.Latency
+		s.installPrefetch(tid, r.VPN, walk.PFN, r.Token, ready)
+		if r.Spatial {
+			// The leaf line just fetched carries up to 7 neighbouring
+			// PTEs; install them for free (steps 14/17 of Figure 12).
+			for _, v := range walk.FreeVPNs {
+				if pte, ok := s.pt.Lookup(v); ok {
+					s.installPrefetch(tid, v, pte.PFN, r.Token, ready)
+					s.c.prefFreePTEs++
+				}
+			}
+		}
+	}
+}
+
+// installPrefetch places a prefetched translation in the PB, or directly in
+// the STLB under the P2TLB configuration.
+func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, ready arch.Cycle) {
+	if s.cfg.PrefetchIntoSTLB {
+		s.stlb.Insert(tid, vpn, pfn)
+		return
+	}
+	if !s.pb.Contains(tid, vpn) {
+		s.pb.Insert(tid, vpn, pfn, token, ready)
+	}
+}
+
+// prefetchInstrLine services one I-cache prefetch candidate (a virtual line
+// number). Lines whose page translation is not at hand either get it for
+// free (IPC-1 style) or pay for a prefetch page walk, depending on
+// Config.ICacheTLBCost.
+func (s *Simulator) prefetchInstrLine(tid arch.ThreadID, th *thread, vline uint64) {
+	const linesPerPage = arch.PageSize / arch.LineSize
+	vpn := arch.VPN(vline / linesPerPage)
+	var pfn arch.PFN
+	var extra arch.Cycle
+
+	switch {
+	case th.haveVPN && vpn == th.curVPN:
+		pfn = th.curPFN
+	default:
+		if p, ok := s.itlb.Peek(tid, vpn); ok {
+			pfn = p
+			break
+		}
+		if p, ok := s.stlb.Peek(tid, vpn); ok {
+			pfn = p
+			break
+		}
+		if !s.cfg.ICacheTLBCost {
+			// IPC-1 infrastructure: page-crossing prefetches are
+			// translated at zero cost; unmapped pages are skipped.
+			pte, ok := s.pt.Lookup(vpn)
+			if !ok {
+				return
+			}
+			pfn = pte.PFN
+			break
+		}
+		s.c.icacheXPrefetch++
+		if p, ok := s.pb.Peek(tid, vpn); ok {
+			// An iSTLB prefetcher already fetched this translation —
+			// the synergy of Section 6.5.
+			s.c.icachePBHits++
+			pfn = p
+			break
+		}
+		// The prefetch needs its own page walk, occupying walker MSHRs
+		// (the mechanism behind FNL+MMA+TLB's degradation, Section 3.5).
+		s.c.icacheXWalks++
+		walk := s.walker.Walk(tid, vpn, s.now(), false)
+		if !walk.Present {
+			return
+		}
+		s.installPrefetch(tid, vpn, walk.PFN, icacheToken{}, s.now()+walk.Latency)
+		pfn = walk.PFN
+		extra = walk.Latency
+	}
+
+	paddr := arch.Translate(pfn, arch.VAddr(vline*arch.LineSize))
+	level := s.mem.PrefetchInto(arch.LevelL1, paddr)
+	ready := s.now() + extra + s.mem.FillLatency(level)
+	if ready > s.now()+s.mem.FillLatency(arch.LevelL1) {
+		if len(s.pendingLines) > 8192 {
+			s.prunePending()
+		}
+		s.pendingLines[paddr.Line()] = ready
+	}
+}
+
+// contextSwitch flushes the architecturally-tagged translation state, as an
+// OS context switch would: TLBs, PSCs, the prefetch buffer and the
+// prefetcher's prediction tables (Section 4.3). Cache contents survive (they
+// are physically tagged), as does the page table itself.
+func (s *Simulator) contextSwitch() {
+	s.c.contextSwitches++
+	s.itlb.Flush()
+	s.dtlb.Flush()
+	s.stlb.Flush()
+	s.pb.Flush()
+	s.walker.PSC().Flush()
+	s.pf.Flush()
+	s.icpf.Flush()
+	for _, th := range s.threads {
+		th.haveVPN = false
+	}
+}
+
+// prunePending drops completed in-flight prefetch records.
+func (s *Simulator) prunePending() {
+	now := s.now()
+	for l, ready := range s.pendingLines {
+		if ready <= now {
+			delete(s.pendingLines, l)
+		}
+	}
+}
+
+// hugeKey maps a 2 MB-mapped page to the synthetic TLB key of its block, so
+// one TLB entry covers all 512 pages of the mapping (huge-page TLB reach).
+func hugeKey(vpn arch.VPN) arch.VPN {
+	return arch.VPN(1)<<40 | vpn>>9
+}
+
+// data performs a load or store: translation through the data TLB path
+// (with demand walks on dSTLB misses) and the cache access. Load latency is
+// charged through the core's overlap-aware back-end model; stores are
+// functional only (drained from the store buffer off the critical path).
+func (s *Simulator) data(tid arch.ThreadID, va arch.VAddr, store bool) {
+	vpn := va.Page()
+	key := vpn
+	var blockOff arch.PFN
+	if s.ptHuge != nil && s.ptHuge.IsHuge(vpn) {
+		// One TLB entry per 2 MB mapping: translate through the block.
+		key = hugeKey(vpn)
+		blockOff = arch.PFN(vpn & (pagetable.HugePages - 1))
+	}
+	var extra arch.Cycle
+	pfn, ok := s.dtlb.Lookup(tid, key)
+	if ok {
+		pfn += blockOff
+	}
+	if !ok {
+		s.c.dstlbAccesses++
+		extra += s.stlb.Latency()
+		pfn, ok = s.stlb.Lookup(tid, key)
+		if ok {
+			pfn += blockOff
+		} else {
+			s.c.dstlbMisses++
+			walk := s.walker.Walk(tid, vpn, s.now(), true)
+			extra += walk.Latency + walk.Queued
+			s.c.demandDWalks++
+			s.c.demandDWalkRefs += uint64(walk.MemRefs)
+			s.c.dWalkLatSum += walk.Latency
+			pfn = walk.PFN
+			// For a huge mapping, cache the block base under the block key.
+			s.stlb.Insert(tid, key, pfn-blockOff)
+		}
+		s.dtlb.Insert(tid, key, pfn-blockOff)
+	}
+	paddr := arch.Translate(pfn, va)
+	kind := cache.KindLoad
+	if store {
+		kind = cache.KindStore
+	}
+	res := s.mem.Access(kind, paddr)
+	if !store {
+		s.core.DataStall(extra + res.Latency)
+	}
+}
+
+// resetStats clears every component's counters at the warmup/measure
+// boundary, keeping all microarchitectural state warm.
+func (s *Simulator) resetStats() {
+	s.core.ResetStats()
+	s.mem.ResetStats()
+	s.itlb.ResetStats()
+	s.dtlb.ResetStats()
+	s.stlb.ResetStats()
+	s.pb.ResetStats()
+	s.walker.ResetStats()
+	s.c = counters{}
+	// The retired-instruction clock restarts with the measurement interval.
+	s.nextSwitch = s.cfg.ContextSwitchInterval
+	if m, ok := s.pf.(interface{ ResetStats() }); ok {
+		m.ResetStats()
+	}
+}
+
+// Walker exposes the page walker (tests and experiments read its PSC).
+func (s *Simulator) Walker() *ptw.Walker { return s.walker }
+
+// Core exposes the timing model.
+func (s *Simulator) Core() *cpu.Core { return s.core }
+
+// Hierarchy exposes the cache hierarchy.
+func (s *Simulator) Hierarchy() *cache.Hierarchy { return s.mem }
+
+// PageTable exposes the simulated page table.
+func (s *Simulator) PageTable() pagetable.Translator { return s.pt }

@@ -1,0 +1,139 @@
+// Package tlb models the translation lookaside buffers of Table 1: the
+// first-level instruction and data TLBs and the shared second-level TLB
+// (STLB), all set-associative with LRU replacement.
+//
+// Entries are tagged with a thread ID so the SMT experiments can share one
+// physical STLB between two colocated workloads without mixing their
+// translations, mirroring ASID tagging in real parts.
+package tlb
+
+import (
+	"morrigan/internal/arch"
+)
+
+type entry struct {
+	vpn   arch.VPN
+	tid   arch.ThreadID
+	pfn   arch.PFN
+	used  uint64
+	valid bool
+}
+
+// TLB is one set-associative translation buffer.
+type TLB struct {
+	name    string
+	sets    int
+	ways    int
+	latency arch.Cycle
+	ents    []entry
+	tick    uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a TLB with the given total entry count and associativity. The
+// set count is entries/ways; it need not be a power of two (the enlarged
+// iso-storage STLB of Figure 18 is not).
+func New(name string, entries, ways int, latency arch.Cycle) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("tlb: entries must be a positive multiple of ways")
+	}
+	return &TLB{
+		name:    name,
+		sets:    entries / ways,
+		ways:    ways,
+		latency: latency,
+		ents:    make([]entry, entries),
+	}
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() arch.Cycle { return t.latency }
+
+// Name returns the TLB's configured name.
+func (t *TLB) Name() string { return t.name }
+
+func (t *TLB) set(vpn arch.VPN) []entry {
+	s := int(uint64(vpn) % uint64(t.sets))
+	return t.ents[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup probes for the translation, promoting it on hit.
+func (t *TLB) Lookup(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
+	t.tick++
+	t.accesses++
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn && set[i].tid == tid {
+			set[i].used = t.tick
+			return set[i].pfn, true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Peek returns the translation without updating replacement or statistics;
+// background prefetch paths use it so they never contend with demand
+// lookups.
+func (t *TLB) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
+	for _, e := range t.set(vpn) {
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			return e.pfn, true
+		}
+	}
+	return 0, false
+}
+
+// Contains probes without updating replacement or statistics.
+func (t *TLB) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
+	for _, e := range t.set(vpn) {
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the translation, evicting the set's LRU entry if needed.
+func (t *TLB) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN) {
+	t.tick++
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn && set[i].tid == tid {
+			set[i].pfn = pfn
+			set[i].used = t.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			set[victim] = entry{vpn: vpn, tid: tid, pfn: pfn, used: t.tick, valid: true}
+			return
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, tid: tid, pfn: pfn, used: t.tick, valid: true}
+}
+
+// Flush invalidates every entry (context switch).
+func (t *TLB) Flush() {
+	for i := range t.ents {
+		t.ents[i].valid = false
+	}
+}
+
+// Accesses returns lookup count since the last ResetStats.
+func (t *TLB) Accesses() uint64 { return t.accesses }
+
+// Misses returns lookup misses since the last ResetStats.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// ResetStats clears counters, keeping contents (warmup boundary).
+func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }

@@ -1,0 +1,137 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"morrigan/internal/arch"
+)
+
+func TestLookupAfterInsert(t *testing.T) {
+	tl := New("stlb", 1536, 6, 8)
+	if _, ok := tl.Lookup(0, 0x400); ok {
+		t.Fatal("cold TLB hit")
+	}
+	tl.Insert(0, 0x400, 0x999)
+	pfn, ok := tl.Lookup(0, 0x400)
+	if !ok || pfn != 0x999 {
+		t.Fatalf("Lookup = %#x, %v", pfn, ok)
+	}
+	if tl.Accesses() != 2 || tl.Misses() != 1 {
+		t.Fatalf("accesses=%d misses=%d", tl.Accesses(), tl.Misses())
+	}
+	if tl.Entries() != 1536 || tl.Latency() != 8 || tl.Name() != "stlb" {
+		t.Fatal("config accessors wrong")
+	}
+}
+
+func TestThreadIsolation(t *testing.T) {
+	tl := New("stlb", 64, 4, 8)
+	tl.Insert(0, 0x10, 0xA)
+	tl.Insert(1, 0x10, 0xB)
+	if pfn, ok := tl.Lookup(0, 0x10); !ok || pfn != 0xA {
+		t.Fatalf("thread 0: %#x %v", pfn, ok)
+	}
+	if pfn, ok := tl.Lookup(1, 0x10); !ok || pfn != 0xB {
+		t.Fatalf("thread 1: %#x %v", pfn, ok)
+	}
+	if _, ok := tl.Lookup(2, 0x10); ok {
+		t.Fatal("thread 2 should miss")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tl := New("tiny", 2, 2, 1) // 1 set of 2 ways after vpn%1... sets=1
+	tl.Insert(0, 1, 1)
+	tl.Insert(0, 3, 3)
+	tl.Lookup(0, 1) // promote vpn 1
+	tl.Insert(0, 5, 5)
+	if tl.Contains(0, 3) {
+		t.Fatal("vpn 3 should be the LRU victim")
+	}
+	if !tl.Contains(0, 1) || !tl.Contains(0, 5) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tl := New("t", 4, 2, 1)
+	tl.Insert(0, 8, 0x1)
+	tl.Insert(0, 8, 0x2)
+	pfn, ok := tl.Lookup(0, 8)
+	if !ok || pfn != 0x2 {
+		t.Fatalf("updated entry: %#x %v", pfn, ok)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New("t", 16, 4, 1)
+	for v := arch.VPN(0); v < 10; v++ {
+		tl.Insert(0, v, arch.PFN(v))
+	}
+	tl.Flush()
+	for v := arch.VPN(0); v < 10; v++ {
+		if tl.Contains(0, v) {
+			t.Fatalf("vpn %d survived flush", v)
+		}
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// Figure 18's enlarged STLB: 1536+384 entries, 6-way -> 320 sets.
+	tl := New("stlb+", 1920, 6, 8)
+	f := func(raw uint32, tid uint8) bool {
+		vpn := arch.VPN(raw)
+		tl.Insert(arch.ThreadID(tid%2), vpn, arch.PFN(raw)+1)
+		pfn, ok := tl.Lookup(arch.ThreadID(tid%2), vpn)
+		return ok && pfn == arch.PFN(raw)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {8, 0}, {10, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v accepted", bad)
+				}
+			}()
+			New("bad", bad[0], bad[1], 1)
+		}()
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tl := New("t", 8, 2, 1)
+	tl.Lookup(0, 1)
+	tl.Insert(0, 1, 2)
+	tl.ResetStats()
+	if tl.Accesses() != 0 || tl.Misses() != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !tl.Contains(0, 1) {
+		t.Fatal("contents lost on ResetStats")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	tl := New("t", 32, 4, 1)
+	for v := arch.VPN(0); v < 1000; v++ {
+		tl.Insert(0, v, arch.PFN(v))
+	}
+	resident := 0
+	for v := arch.VPN(0); v < 1000; v++ {
+		if tl.Contains(0, v) {
+			resident++
+		}
+	}
+	if resident > 32 {
+		t.Fatalf("%d resident entries exceed capacity 32", resident)
+	}
+	if resident == 0 {
+		t.Fatal("nothing resident")
+	}
+}

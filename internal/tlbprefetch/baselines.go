@@ -1,0 +1,458 @@
+package tlbprefetch
+
+import "morrigan/internal/arch"
+
+// SP is the Sequential Prefetcher: on a miss for page V it prefetches the
+// translation of V+1 (Kandiraju & Sivasubramaniam, ISCA'02).
+type SP struct{}
+
+// Name implements Prefetcher.
+func (SP) Name() string { return "SP" }
+
+// StorageBits implements Prefetcher; SP is stateless.
+func (SP) StorageBits() int { return 0 }
+
+// OnMiss implements Prefetcher.
+func (SP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	return []Request{{VPN: vpn + 1}}
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (SP) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (SP) Flush() {}
+
+var _ Prefetcher = SP{}
+
+// aspEntry is one Arbitrary Stride Prefetcher table entry (Baer-Chen style,
+// indexed by the PC of the instruction that triggered the STLB miss).
+type aspEntry struct {
+	tag     uint64
+	lastVPN arch.VPN
+	stride  int64
+	conf    int
+	valid   bool
+}
+
+// ASP is the Arbitrary Stride Prefetcher: it correlates strides with the
+// faulting PC. On the instruction miss stream the faulting PC is the fetch
+// address itself, so the table sees one entry per page-entry instruction and
+// suffers massive conflicts — the behaviour Section 3.4 reports (96.3%
+// conflicting accesses).
+type ASP struct {
+	ents      []aspEntry
+	lookups   uint64
+	conflicts uint64
+}
+
+// NewASP builds an ASP with the given direct-mapped table size.
+func NewASP(entries int) *ASP {
+	if entries <= 0 {
+		panic("tlbprefetch: ASP entries must be positive")
+	}
+	return &ASP{ents: make([]aspEntry, entries)}
+}
+
+// Name implements Prefetcher.
+func (a *ASP) Name() string { return "ASP" }
+
+// StorageBits implements Prefetcher: tag + last VPN + stride + confidence
+// per entry.
+func (a *ASP) StorageBits() int {
+	return len(a.ents) * (TagBits + VPNStorageBits + 16 + ConfBits)
+}
+
+// OnMiss implements Prefetcher.
+func (a *ASP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	a.lookups++
+	idx := (uint64(pc) >> 2) % uint64(len(a.ents))
+	e := &a.ents[idx]
+	tag := uint64(pc) >> 2 / uint64(len(a.ents))
+	if !e.valid || e.tag != tag {
+		if e.valid {
+			a.conflicts++
+		}
+		*e = aspEntry{tag: tag, lastVPN: vpn, valid: true}
+		return nil
+	}
+	stride := int64(vpn) - int64(e.lastVPN)
+	var out []Request
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+		if e.conf >= 2 {
+			out = []Request{{VPN: arch.VPN(int64(vpn) + stride)}}
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.lastVPN = vpn
+	return out
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (a *ASP) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (a *ASP) Flush() {
+	for i := range a.ents {
+		a.ents[i].valid = false
+	}
+}
+
+// ConflictRate returns the fraction of lookups that evicted a different PC's
+// entry, in percent.
+func (a *ASP) ConflictRate() float64 {
+	if a.lookups == 0 {
+		return 0
+	}
+	return float64(a.conflicts) / float64(a.lookups) * 100
+}
+
+var _ Prefetcher = (*ASP)(nil)
+
+// dpEntry is one Distance Prefetcher table entry: two predicted next
+// distances for a given observed distance.
+type dpEntry struct {
+	tag   uint64
+	dists [2]int64
+	used  [2]uint64
+	n     int
+	valid bool
+}
+
+// DP is the Distance Prefetcher: it indexes its table with the distance
+// between the current and previous missing pages and predicts the next
+// distances. Like ASP it conflicts heavily on the instruction miss stream.
+type DP struct {
+	ents      []dpEntry
+	prevVPN   [2]arch.VPN // per thread
+	prevDist  [2]int64
+	seeded    [2]bool
+	distSeen  [2]bool
+	tick      uint64
+	lookups   uint64
+	conflicts uint64
+}
+
+// NewDP builds a DP with the given direct-mapped table size.
+func NewDP(entries int) *DP {
+	if entries <= 0 {
+		panic("tlbprefetch: DP entries must be positive")
+	}
+	return &DP{ents: make([]dpEntry, entries)}
+}
+
+// Name implements Prefetcher.
+func (d *DP) Name() string { return "DP" }
+
+// StorageBits implements Prefetcher: tag + two 16-bit distances per entry.
+func (d *DP) StorageBits() int { return len(d.ents) * (TagBits + 2*16) }
+
+func (d *DP) slot(dist int64) (*dpEntry, uint64) {
+	u := uint64(dist)
+	idx := (u ^ u>>7) % uint64(len(d.ents))
+	return &d.ents[idx], u
+}
+
+// OnMiss implements Prefetcher.
+func (d *DP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	t := tid & 1
+	if !d.seeded[t] {
+		d.seeded[t] = true
+		d.prevVPN[t] = vpn
+		return nil
+	}
+	dist := int64(vpn) - int64(d.prevVPN[t])
+	d.prevVPN[t] = vpn
+
+	// Update: record dist as a successor distance of the previous distance.
+	if d.distSeen[t] {
+		e, tag := d.slot(d.prevDist[t])
+		d.tick++
+		if !e.valid || e.tag != tag {
+			if e.valid {
+				d.conflicts++
+			}
+			*e = dpEntry{tag: tag, valid: true}
+		}
+		found := false
+		for i := 0; i < e.n; i++ {
+			if e.dists[i] == dist {
+				e.used[i] = d.tick
+				found = true
+				break
+			}
+		}
+		if !found {
+			if e.n < len(e.dists) {
+				e.dists[e.n] = dist
+				e.used[e.n] = d.tick
+				e.n++
+			} else {
+				v := 0
+				if e.used[1] < e.used[0] {
+					v = 1
+				}
+				e.dists[v] = dist
+				e.used[v] = d.tick
+			}
+		}
+	}
+	d.prevDist[t] = dist
+	d.distSeen[t] = true
+
+	// Predict: look up the current distance.
+	d.lookups++
+	e, tag := d.slot(dist)
+	if !e.valid || e.tag != tag {
+		return nil
+	}
+	out := make([]Request, 0, e.n)
+	for i := 0; i < e.n; i++ {
+		out = append(out, Request{VPN: arch.VPN(int64(vpn) + e.dists[i])})
+	}
+	return out
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (d *DP) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (d *DP) Flush() {
+	for i := range d.ents {
+		d.ents[i].valid = false
+	}
+	d.seeded = [2]bool{}
+	d.distSeen = [2]bool{}
+}
+
+// ConflictRate returns the fraction of lookups finding another distance's
+// entry, in percent.
+func (d *DP) ConflictRate() float64 {
+	if d.lookups == 0 {
+		return 0
+	}
+	return float64(d.conflicts) / float64(d.lookups) * 100
+}
+
+var _ Prefetcher = (*DP)(nil)
+
+// mpEntry is one Markov Prefetcher entry: the indexing page plus two
+// successor prediction slots holding full VPNs.
+type mpEntry struct {
+	vpn   arch.VPN
+	succ  [2]arch.VPN
+	sused [2]uint64
+	n     int
+	used  uint64
+	valid bool
+}
+
+// MP is the table-based Markov Prefetcher of Section 2.1: a prediction
+// table indexed by virtual page with two full-VPN prediction slots per entry
+// and LRU replacement — the design whose shortcomings (recency-based
+// replacement, fixed successor count) motivate Morrigan.
+type MP struct {
+	ents []mpEntry
+	ways int
+	sets int
+	prev [2]arch.VPN
+	seen [2]bool
+	tick uint64
+}
+
+// NewMP builds an MP with the given geometry. The paper's baseline MP is
+// 128 entries; entries must be a multiple of ways.
+func NewMP(entries, ways int) *MP {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("tlbprefetch: MP entries must be a positive multiple of ways")
+	}
+	return &MP{ents: make([]mpEntry, entries), ways: ways, sets: entries / ways}
+}
+
+// Name implements Prefetcher.
+func (m *MP) Name() string { return "MP" }
+
+// StorageBits implements Prefetcher: tag plus two full VPNs per entry (the
+// costly design Section 4.1.1 contrasts with Morrigan's distances).
+func (m *MP) StorageBits() int { return len(m.ents) * (TagBits + 2*VPNStorageBits) }
+
+func (m *MP) set(vpn arch.VPN) []mpEntry {
+	s := int(uint64(vpn) % uint64(m.sets))
+	return m.ents[s*m.ways : (s+1)*m.ways]
+}
+
+func (m *MP) find(vpn arch.VPN) *mpEntry {
+	set := m.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// OnMiss implements Prefetcher.
+func (m *MP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	t := tid & 1
+	m.tick++
+
+	var out []Request
+	if e := m.find(vpn); e != nil {
+		e.used = m.tick
+		for i := 0; i < e.n; i++ {
+			out = append(out, Request{VPN: e.succ[i]})
+		}
+	}
+
+	// Update the previous page's entry with the new successor, LRU both at
+	// the entry level and within the two prediction slots.
+	if m.seen[t] && m.prev[t] != vpn {
+		e := m.find(m.prev[t])
+		if e == nil {
+			set := m.set(m.prev[t])
+			victim := 0
+			for i := range set {
+				if !set[i].valid {
+					victim = i
+					break
+				}
+				if set[i].used < set[victim].used {
+					victim = i
+				}
+			}
+			set[victim] = mpEntry{vpn: m.prev[t], used: m.tick, valid: true}
+			e = &set[victim]
+		}
+		found := false
+		for i := 0; i < e.n; i++ {
+			if e.succ[i] == vpn {
+				e.sused[i] = m.tick
+				found = true
+				break
+			}
+		}
+		if !found {
+			if e.n < len(e.succ) {
+				e.succ[e.n] = vpn
+				e.sused[e.n] = m.tick
+				e.n++
+			} else {
+				v := 0
+				if e.sused[1] < e.sused[0] {
+					v = 1
+				}
+				e.succ[v] = vpn
+				e.sused[v] = m.tick
+			}
+		}
+	}
+	m.prev[t] = vpn
+	m.seen[t] = true
+	return out
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (m *MP) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (m *MP) Flush() {
+	for i := range m.ents {
+		m.ents[i].valid = false
+	}
+	m.seen = [2]bool{}
+}
+
+var _ Prefetcher = (*MP)(nil)
+
+// UnboundedMP is the idealized Markov prefetcher of Section 3.4: an
+// unbounded prediction table accommodating every instruction page, with
+// either a fixed number of successor slots (2) or unlimited slots.
+type UnboundedMP struct {
+	maxSucc int // 0 means unlimited
+	table   map[arch.VPN][]arch.VPN
+	lru     map[arch.VPN][]uint64
+	prev    [2]arch.VPN
+	seen    [2]bool
+	tick    uint64
+}
+
+// NewUnboundedMP builds the idealization; maxSucc <= 0 means unlimited
+// successors per entry.
+func NewUnboundedMP(maxSucc int) *UnboundedMP {
+	return &UnboundedMP{
+		maxSucc: maxSucc,
+		table:   make(map[arch.VPN][]arch.VPN),
+		lru:     make(map[arch.VPN][]uint64),
+	}
+}
+
+// Name implements Prefetcher.
+func (u *UnboundedMP) Name() string {
+	if u.maxSucc <= 0 {
+		return "MP-unbounded-inf"
+	}
+	return "MP-unbounded-2"
+}
+
+// StorageBits implements Prefetcher; the idealization has no hardware
+// budget, so it reports 0 (it is excluded from ISO comparisons).
+func (u *UnboundedMP) StorageBits() int { return 0 }
+
+// OnMiss implements Prefetcher.
+func (u *UnboundedMP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	t := tid & 1
+	u.tick++
+	var out []Request
+	for _, s := range u.table[vpn] {
+		out = append(out, Request{VPN: s})
+	}
+	if u.seen[t] && u.prev[t] != vpn {
+		succ := u.table[u.prev[t]]
+		used := u.lru[u.prev[t]]
+		found := false
+		for i, s := range succ {
+			if s == vpn {
+				used[i] = u.tick
+				found = true
+				break
+			}
+		}
+		if !found {
+			if u.maxSucc > 0 && len(succ) >= u.maxSucc {
+				v := 0
+				for i := range used {
+					if used[i] < used[v] {
+						v = i
+					}
+				}
+				succ[v] = vpn
+				used[v] = u.tick
+			} else {
+				succ = append(succ, vpn)
+				used = append(used, u.tick)
+			}
+			u.table[u.prev[t]] = succ
+			u.lru[u.prev[t]] = used
+		}
+	}
+	u.prev[t] = vpn
+	u.seen[t] = true
+	return out
+}
+
+// OnPrefetchHit implements Prefetcher.
+func (u *UnboundedMP) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (u *UnboundedMP) Flush() {
+	u.table = make(map[arch.VPN][]arch.VPN)
+	u.lru = make(map[arch.VPN][]uint64)
+	u.seen = [2]bool{}
+}
+
+var _ Prefetcher = (*UnboundedMP)(nil)

@@ -1,0 +1,155 @@
+package tlbprefetch
+
+import "morrigan/internal/arch"
+
+// PrefetchBuffer is the fully associative buffer that holds prefetched
+// translations (Table 1: 64-entry, fully associative, 2-cycle). On a hit the
+// entry is moved to the STLB, so Lookup removes it. Each entry carries the
+// provenance token of the request that produced it so the owning prefetcher
+// can be credited (Morrigan's confidence update, step 6 of Figure 12).
+type PrefetchBuffer struct {
+	capacity int
+	latency  arch.Cycle
+	ents     []pbEntry
+	tick     uint64
+
+	lookups uint64
+	hits    uint64
+	inserts uint64
+	useless uint64 // evicted without ever hitting
+
+	// onEvict, when set, observes entries displaced without having served
+	// a miss (the trigger for the paper's correcting page walks).
+	onEvict func(tid arch.ThreadID, vpn arch.VPN)
+}
+
+type pbEntry struct {
+	vpn   arch.VPN
+	tid   arch.ThreadID
+	pfn   arch.PFN
+	token any
+	ready arch.Cycle
+	used  uint64
+	valid bool
+}
+
+// NewPrefetchBuffer builds a PB with the given capacity and lookup latency.
+func NewPrefetchBuffer(capacity int, latency arch.Cycle) *PrefetchBuffer {
+	if capacity <= 0 {
+		panic("tlbprefetch: PB capacity must be positive")
+	}
+	return &PrefetchBuffer{
+		capacity: capacity,
+		latency:  latency,
+		ents:     make([]pbEntry, capacity),
+	}
+}
+
+// Latency returns the PB lookup latency.
+func (b *PrefetchBuffer) Latency() arch.Cycle { return b.latency }
+
+// Capacity returns the PB entry count.
+func (b *PrefetchBuffer) Capacity() int { return b.capacity }
+
+// Lookup searches for a translation. On a hit the entry is removed (it moves
+// to the STLB) and its provenance token is returned together with the cycle
+// at which the prefetch page walk completed — a demand miss arriving before
+// that still waits for the remainder (late-prefetch timeliness).
+func (b *PrefetchBuffer) Lookup(tid arch.ThreadID, vpn arch.VPN) (pfn arch.PFN, token any, ready arch.Cycle, ok bool) {
+	b.lookups++
+	for i := range b.ents {
+		e := &b.ents[i]
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			b.hits++
+			e.valid = false
+			return e.pfn, e.token, e.ready, true
+		}
+	}
+	return 0, nil, 0, false
+}
+
+// Contains probes without removal or statistics; prefetch deduplication uses
+// this (step 10 of Figure 12 — the PB, not the STLB, is checked so demand
+// STLB lookups are not contended).
+func (b *PrefetchBuffer) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
+	for i := range b.ents {
+		e := &b.ents[i]
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek returns the translation without removing the entry or updating
+// statistics; background consumers (I-cache prefetch translation) use it.
+func (b *PrefetchBuffer) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
+	for i := range b.ents {
+		e := &b.ents[i]
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			return e.pfn, true
+		}
+	}
+	return 0, false
+}
+
+// Insert installs a prefetched translation, evicting the LRU entry when the
+// buffer is full. ready is the cycle at which the producing prefetch page
+// walk completes.
+func (b *PrefetchBuffer) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, ready arch.Cycle) {
+	b.tick++
+	b.inserts++
+	victim := 0
+	for i := range b.ents {
+		e := &b.ents[i]
+		if e.valid && e.vpn == vpn && e.tid == tid {
+			// Refresh in place; keep the original provenance and the
+			// earlier completion time.
+			e.pfn = pfn
+			e.used = b.tick
+			return
+		}
+		if !e.valid {
+			victim = i
+			b.ents[victim] = pbEntry{vpn: vpn, tid: tid, pfn: pfn, token: token, ready: ready, used: b.tick, valid: true}
+			return
+		}
+		if e.used < b.ents[victim].used {
+			victim = i
+		}
+	}
+	b.useless++
+	if b.onEvict != nil {
+		b.onEvict(b.ents[victim].tid, b.ents[victim].vpn)
+	}
+	b.ents[victim] = pbEntry{vpn: vpn, tid: tid, pfn: pfn, token: token, ready: ready, used: b.tick, valid: true}
+}
+
+// SetEvictionHandler registers fn to be called whenever a valid entry is
+// displaced without ever having hit. Section 4.3 uses this event to issue
+// correcting page walks that reset the accessed bit of unused prefetches.
+func (b *PrefetchBuffer) SetEvictionHandler(fn func(tid arch.ThreadID, vpn arch.VPN)) {
+	b.onEvict = fn
+}
+
+// Flush drops all entries (context switch).
+func (b *PrefetchBuffer) Flush() {
+	for i := range b.ents {
+		b.ents[i].valid = false
+	}
+}
+
+// Lookups returns Lookup calls since the last ResetStats.
+func (b *PrefetchBuffer) Lookups() uint64 { return b.lookups }
+
+// Hits returns Lookup hits since the last ResetStats.
+func (b *PrefetchBuffer) Hits() uint64 { return b.hits }
+
+// Inserts returns Insert calls since the last ResetStats.
+func (b *PrefetchBuffer) Inserts() uint64 { return b.inserts }
+
+// Evictions returns entries evicted without servicing a miss.
+func (b *PrefetchBuffer) Evictions() uint64 { return b.useless }
+
+// ResetStats clears counters, keeping contents.
+func (b *PrefetchBuffer) ResetStats() { b.lookups, b.hits, b.inserts, b.useless = 0, 0, 0, 0 }

@@ -1,0 +1,77 @@
+// Package tlbprefetch defines the STLB-prefetching machinery shared by
+// Morrigan and the baselines: the prefetcher interface, the Prefetch Buffer
+// (PB) that holds prefetched translations, and the four previously proposed
+// dSTLB prefetchers the paper compares against (Section 2.1): the Sequential
+// Prefetcher (SP), the Arbitrary Stride Prefetcher (ASP), the Distance
+// Prefetcher (DP), and the Markov Prefetcher (MP), plus the idealized
+// unbounded-MP variants of Section 3.4.
+package tlbprefetch
+
+import "morrigan/internal/arch"
+
+// Request is one prefetch candidate produced by a prefetcher.
+type Request struct {
+	// VPN is the virtual page whose translation should be prefetched.
+	VPN arch.VPN
+	// Spatial requests that, at the end of the prefetch page walk, the
+	// translations sharing the leaf PTE cache line be installed into the
+	// PB for free (page table locality; Section 2 of the paper).
+	Spatial bool
+	// Token is an opaque provenance value. When a PB entry created from
+	// this request later services a miss, the token is handed back to the
+	// producing prefetcher via OnPrefetchHit so it can update confidence.
+	Token any
+}
+
+// Prefetcher is an STLB prefetch engine invoked on the instruction STLB miss
+// stream.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// StorageBits returns the hardware budget of the prefetcher's state,
+	// using the paper's accounting rules.
+	StorageBits() int
+	// OnMiss is invoked on every iSTLB miss (whether or not the PB served
+	// it), with the faulting instruction address and its page. It returns
+	// the prefetch candidates to issue and updates internal state.
+	OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request
+	// OnPrefetchHit informs the prefetcher that a PB entry it produced
+	// eliminated a demand page walk; token is the Request's Token.
+	OnPrefetchHit(token any)
+	// Flush clears all internal state (context switch).
+	Flush()
+}
+
+// None is the no-prefetching baseline.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// StorageBits implements Prefetcher.
+func (None) StorageBits() int { return 0 }
+
+// OnMiss implements Prefetcher.
+func (None) OnMiss(arch.ThreadID, arch.VAddr, arch.VPN) []Request { return nil }
+
+// OnPrefetchHit implements Prefetcher.
+func (None) OnPrefetchHit(any) {}
+
+// Flush implements Prefetcher.
+func (None) Flush() {}
+
+var _ Prefetcher = None{}
+
+// VPNStorageBits is the paper's cost of storing a full virtual page number
+// (Section 4.1.1: "each VPN requires 36 bits of state").
+const VPNStorageBits = arch.VPNBits
+
+// TagBits is the partial-tag width used by table-based prefetchers.
+const TagBits = 16
+
+// ConfBits is the width of a saturating confidence counter.
+const ConfBits = 2
+
+// DistanceBits is the width of a stored inter-page distance in Morrigan's
+// prediction slots (Section 6.1).
+const DistanceBits = 15

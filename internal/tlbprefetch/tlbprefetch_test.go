@@ -1,0 +1,314 @@
+package tlbprefetch
+
+import (
+	"testing"
+
+	"morrigan/internal/arch"
+)
+
+func TestPBLookupRemovesEntry(t *testing.T) {
+	pb := NewPrefetchBuffer(4, 2)
+	pb.Insert(0, 0x10, 0x99, "tok", 77)
+	pfn, token, ready, ok := pb.Lookup(0, 0x10)
+	if !ok || pfn != 0x99 || token != "tok" || ready != 77 {
+		t.Fatalf("Lookup = %#x %v ready=%d %v", pfn, token, ready, ok)
+	}
+	if _, _, _, ok := pb.Lookup(0, 0x10); ok {
+		t.Fatal("PB hit should move the entry out")
+	}
+	if pb.Hits() != 1 || pb.Lookups() != 2 || pb.Inserts() != 1 {
+		t.Fatalf("stats: hits=%d lookups=%d inserts=%d", pb.Hits(), pb.Lookups(), pb.Inserts())
+	}
+}
+
+func TestPBLRUAndEvictionAccounting(t *testing.T) {
+	pb := NewPrefetchBuffer(2, 2)
+	pb.Insert(0, 1, 1, nil, 0)
+	pb.Insert(0, 2, 2, nil, 0)
+	pb.Insert(0, 3, 3, nil, 0) // evicts vpn 1 (LRU), never hit
+	if pb.Contains(0, 1) {
+		t.Fatal("vpn 1 should be evicted")
+	}
+	if pb.Evictions() != 1 {
+		t.Fatalf("Evictions = %d", pb.Evictions())
+	}
+	if !pb.Contains(0, 2) || !pb.Contains(0, 3) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestPBThreadIsolationAndFlush(t *testing.T) {
+	pb := NewPrefetchBuffer(4, 2)
+	pb.Insert(0, 7, 0xA, nil, 0)
+	pb.Insert(1, 7, 0xB, nil, 0)
+	if pfn, _, _, ok := pb.Lookup(1, 7); !ok || pfn != 0xB {
+		t.Fatalf("thread 1 lookup = %#x %v", pfn, ok)
+	}
+	if !pb.Contains(0, 7) {
+		t.Fatal("thread 0 entry should survive thread 1 hit")
+	}
+	pb.Flush()
+	if pb.Contains(0, 7) {
+		t.Fatal("flush did not clear entries")
+	}
+}
+
+func TestPBInsertRefreshKeepsToken(t *testing.T) {
+	pb := NewPrefetchBuffer(2, 2)
+	pb.Insert(0, 5, 1, "orig", 0)
+	pb.Insert(0, 5, 2, "dup", 0)
+	_, token, _, ok := pb.Lookup(0, 5)
+	if !ok || token != "orig" {
+		t.Fatalf("token = %v, want orig", token)
+	}
+}
+
+func TestPBResetStats(t *testing.T) {
+	pb := NewPrefetchBuffer(2, 2)
+	pb.Insert(0, 1, 1, nil, 0)
+	pb.Lookup(0, 1)
+	pb.ResetStats()
+	if pb.Hits() != 0 || pb.Lookups() != 0 || pb.Inserts() != 0 || pb.Evictions() != 0 {
+		t.Fatal("stats not reset")
+	}
+	if pb.Capacity() != 2 || pb.Latency() != 2 {
+		t.Fatal("config accessors wrong")
+	}
+}
+
+func TestSPPrefetchesNextPage(t *testing.T) {
+	var sp SP
+	reqs := sp.OnMiss(0, 0xA7000, 0xA7)
+	if len(reqs) != 1 || reqs[0].VPN != 0xA8 {
+		t.Fatalf("SP requests = %+v", reqs)
+	}
+	if sp.StorageBits() != 0 || sp.Name() != "SP" {
+		t.Fatal("SP metadata wrong")
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	var n None
+	if reqs := n.OnMiss(0, 1, 1); reqs != nil {
+		t.Fatal("None must not prefetch")
+	}
+	n.OnPrefetchHit(nil)
+	n.Flush()
+}
+
+func TestASPDetectsStride(t *testing.T) {
+	a := NewASP(64)
+	pc := arch.VAddr(0x4000)
+	var got []Request
+	for i := 0; i < 6; i++ {
+		got = a.OnMiss(0, pc, arch.VPN(0x100+i*3))
+	}
+	if len(got) != 1 || got[0].VPN != arch.VPN(0x100+5*3+3) {
+		t.Fatalf("ASP requests = %+v", got)
+	}
+}
+
+func TestASPConflictsAcrossPCs(t *testing.T) {
+	a := NewASP(4)
+	for i := 0; i < 100; i++ {
+		pc := arch.VAddr(0x1000 + i*4096)
+		a.OnMiss(0, pc, arch.VPN(i))
+	}
+	if a.ConflictRate() < 50 {
+		t.Fatalf("ConflictRate = %v, expected heavy conflicts", a.ConflictRate())
+	}
+	a.Flush()
+	// After flush entries are invalid; a stride takes warmup again.
+	if got := a.OnMiss(0, 0x1000, 0x500); got != nil {
+		t.Fatal("prediction right after flush")
+	}
+}
+
+func TestDPPredictsDistancePattern(t *testing.T) {
+	d := NewDP(128)
+	// Repeating distance pattern: +2, +5, +2, +5 ... so after seeing
+	// distance 2 the predicted next distance is 5 (prefetch vpn+5).
+	vpn := arch.VPN(0x1000)
+	var reqs []Request
+	deltas := []int64{2, 5, 2, 5, 2, 5, 2}
+	for _, dl := range deltas {
+		vpn = arch.VPN(int64(vpn) + dl)
+		reqs = d.OnMiss(0, 0, vpn)
+	}
+	// Last observed distance 2 -> predicted next distance 5.
+	found := false
+	for _, r := range reqs {
+		if r.VPN == vpn+5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DP requests = %+v, want vpn+5", reqs)
+	}
+}
+
+func TestDPConflictRateAndFlush(t *testing.T) {
+	d := NewDP(2)
+	vpn := arch.VPN(0)
+	for i := int64(1); i < 200; i++ {
+		vpn = arch.VPN(int64(vpn) + i) // ever-changing distances
+		d.OnMiss(0, 0, vpn)
+	}
+	if d.ConflictRate() <= 0 {
+		t.Fatal("expected conflicts in a 2-entry DP")
+	}
+	d.Flush()
+	if got := d.OnMiss(0, 0, 5); got != nil {
+		t.Fatal("prediction right after flush")
+	}
+}
+
+func TestMPLearnsSuccessors(t *testing.T) {
+	m := NewMP(128, 128)
+	stream := []arch.VPN{1, 2, 1, 3, 1, 2}
+	var reqs []Request
+	for _, v := range stream {
+		reqs = m.OnMiss(0, 0, v)
+	}
+	// Final miss on 2 after history: entry for 1 has successors {2,3};
+	// the miss on 1 (index 4) predicted both.
+	_ = reqs
+	got := m.OnMiss(0, 0, 1)
+	want := map[arch.VPN]bool{2: true, 3: true}
+	if len(got) != 2 {
+		t.Fatalf("MP predictions = %+v", got)
+	}
+	for _, r := range got {
+		if !want[r.VPN] {
+			t.Errorf("unexpected prediction %#x", r.VPN)
+		}
+	}
+}
+
+func TestMPSlotLRUReplacement(t *testing.T) {
+	m := NewMP(16, 16)
+	// Page 1's successors in order: 2, 3, then 4 -> slot holding 2 (LRU)
+	// is replaced.
+	for _, v := range []arch.VPN{1, 2, 1, 3, 1, 4} {
+		m.OnMiss(0, 0, v)
+	}
+	got := m.OnMiss(0, 0, 1)
+	want := map[arch.VPN]bool{3: true, 4: true}
+	for _, r := range got {
+		if !want[r.VPN] {
+			t.Errorf("unexpected prediction %#x after slot replacement", r.VPN)
+		}
+	}
+}
+
+func TestMPEntryLRUEviction(t *testing.T) {
+	m := NewMP(2, 2) // one set of 2 entries
+	// Touch three distinct pages so one entry must be evicted.
+	for _, v := range []arch.VPN{10, 20, 10, 20, 30} {
+		m.OnMiss(0, 0, v)
+	}
+	// Table can hold only 2 of {10, 20, 30}.
+	entries := 0
+	for _, e := range m.ents {
+		if e.valid {
+			entries++
+		}
+	}
+	if entries > 2 {
+		t.Fatalf("%d valid entries in a 2-entry MP", entries)
+	}
+}
+
+func TestMPStorageAccounting(t *testing.T) {
+	m := NewMP(128, 2)
+	want := 128 * (TagBits + 2*VPNStorageBits)
+	if m.StorageBits() != want {
+		t.Fatalf("StorageBits = %d, want %d", m.StorageBits(), want)
+	}
+}
+
+func TestUnboundedMPInfiniteSuccessors(t *testing.T) {
+	u := NewUnboundedMP(0)
+	// Page 1 gets successors 2..12 — all must be retained.
+	for i := arch.VPN(2); i <= 12; i++ {
+		u.OnMiss(0, 0, 1)
+		u.OnMiss(0, 0, i)
+	}
+	got := u.OnMiss(0, 0, 1)
+	if len(got) != 11 {
+		t.Fatalf("predictions = %d, want 11", len(got))
+	}
+	if u.Name() != "MP-unbounded-inf" {
+		t.Errorf("Name = %q", u.Name())
+	}
+}
+
+func TestUnboundedMPTwoSuccessorLimit(t *testing.T) {
+	u := NewUnboundedMP(2)
+	for i := arch.VPN(2); i <= 6; i++ {
+		u.OnMiss(0, 0, 1)
+		u.OnMiss(0, 0, i)
+	}
+	got := u.OnMiss(0, 0, 1)
+	if len(got) != 2 {
+		t.Fatalf("predictions = %d, want 2", len(got))
+	}
+	if u.Name() != "MP-unbounded-2" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	u.Flush()
+	if got := u.OnMiss(0, 0, 1); got != nil {
+		t.Fatal("prediction right after flush")
+	}
+}
+
+func TestPrefetcherThreadSeparation(t *testing.T) {
+	m := NewMP(128, 128)
+	// Interleaved threads must not pollute each other's chains.
+	m.OnMiss(0, 0, 1)
+	m.OnMiss(1, 0, 100)
+	m.OnMiss(0, 0, 2)   // thread 0: 1 -> 2
+	m.OnMiss(1, 0, 200) // thread 1: 100 -> 200
+	got := m.OnMiss(0, 0, 1)
+	if len(got) != 1 || got[0].VPN != 2 {
+		t.Fatalf("thread 0 predictions = %+v, want only vpn 2", got)
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	for name, f := range map[string]func(){
+		"pb":  func() { NewPrefetchBuffer(0, 1) },
+		"asp": func() { NewASP(0) },
+		"dp":  func() { NewDP(0) },
+		"mp":  func() { NewMP(10, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad geometry accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPBEvictionHandler(t *testing.T) {
+	pb := NewPrefetchBuffer(2, 2)
+	var evicted []arch.VPN
+	pb.SetEvictionHandler(func(tid arch.ThreadID, vpn arch.VPN) {
+		evicted = append(evicted, vpn)
+	})
+	pb.Insert(0, 1, 1, nil, 0)
+	pb.Insert(0, 2, 2, nil, 0)
+	pb.Insert(0, 3, 3, nil, 0) // displaces vpn 1, never hit
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	// An entry that hit is removed by Lookup, not evicted: no callback.
+	pb.Lookup(0, 2)
+	pb.Insert(0, 4, 4, nil, 0) // fills the freed slot
+	if len(evicted) != 1 {
+		t.Fatalf("hit-then-remove should not trigger eviction handler: %v", evicted)
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace defines the instruction trace representation consumed by the
+// simulator, a compact binary on-disk format with reader/writer support, and
+// deterministic synthetic workload generators.
+//
+// The paper evaluates on proprietary Qualcomm server traces (CVP-1/IPC-1).
+// Those are unobtainable, so this package synthesises instruction streams
+// whose instruction-TLB miss behaviour matches the properties the paper
+// measures in Section 3.3: Zipf-skewed page popularity, a variable number of
+// successor pages per instruction page, limited small-delta spatial locality,
+// and phase changes. See DESIGN.md for the substitution rationale.
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"morrigan/internal/arch"
+)
+
+// Record is one executed instruction. A zero Load/Store address means the
+// instruction has no memory operand of that kind (the generators never place
+// code or data at virtual address zero).
+type Record struct {
+	// PC is the instruction's fetch address.
+	PC arch.VAddr
+	// Load is the address read by the instruction, or zero.
+	Load arch.VAddr
+	// Store is the address written by the instruction, or zero.
+	Store arch.VAddr
+}
+
+// HasLoad reports whether the instruction reads memory.
+func (r *Record) HasLoad() bool { return r.Load != 0 }
+
+// HasStore reports whether the instruction writes memory.
+func (r *Record) HasStore() bool { return r.Store != 0 }
+
+// Reader produces a stream of instruction records. Next fills in rec and
+// returns io.EOF when the stream is exhausted; synthetic generators are
+// infinite and never return io.EOF.
+type Reader interface {
+	Next(rec *Record) error
+}
+
+// ErrCorrupt reports a malformed trace file.
+var ErrCorrupt = errors.New("trace: corrupt trace file")
+
+// Limit wraps r so that it yields at most n records.
+func Limit(r Reader, n uint64) Reader { return &limitReader{r: r, left: n} }
+
+type limitReader struct {
+	r    Reader
+	left uint64
+}
+
+func (l *limitReader) Next(rec *Record) error {
+	if l.left == 0 {
+		return io.EOF
+	}
+	l.left--
+	return l.r.Next(rec)
+}
+
+// Slice materialises up to n records from r, primarily for tests and
+// offline analysis. It stops early at io.EOF.
+func Slice(r Reader, n int) ([]Record, error) {
+	out := make([]Record, 0, n)
+	var rec Record
+	for len(out) < n {
+		err := r.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// SliceReader replays a fixed record slice, for tests.
+type SliceReader struct {
+	Records []Record
+	pos     int
+}
+
+// Next implements Reader.
+func (s *SliceReader) Next(rec *Record) error {
+	if s.pos >= len(s.Records) {
+		return io.EOF
+	}
+	*rec = s.Records[s.pos]
+	s.pos++
+	return nil
+}
+
+// Reset rewinds the reader to the beginning of the slice.
+func (s *SliceReader) Reset() { s.pos = 0 }

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"morrigan/internal/trace"
+)
+
+// customSpec is the JSON shape of a user-defined workload.
+type customSpec struct {
+	Name   string             `json:"name"`
+	Params trace.ServerParams `json:"params"`
+}
+
+// LoadSpec parses a user-defined workload from JSON:
+//
+//	{
+//	  "name": "my-service",
+//	  "params": {
+//	    "Seed": 1, "CodePages": 1500, "DataPages": 8192,
+//	    "HotFrac": 0.3, "WarmFrac": 0.3, "PHot": 0.8, "PWarm": 0.18,
+//	    "RoutineLenMin": 2, "RoutineLenMax": 10,
+//	    "RunLenMin": 6, "RunLenMax": 40, "EntryPoints": 4,
+//	    "SeqFrac": 0.15, "SmallDeltaFrac": 0.2, "BranchSkipFrac": 0.1,
+//	    "SuccWeights": [0.33, 0.2, 0.22, 0.18, 0.07],
+//	    "RandomCallFrac": 0.005,
+//	    "LoadFrac": 0.25, "StoreFrac": 0.1,
+//	    "DataZipfS": 1.6, "DataStreamFrac": 0.15,
+//	    "PhaseLen": 700000, "PhaseShuffleFrac": 0.06
+//	  }
+//	}
+//
+// The parameters are validated before the spec is returned.
+func LoadSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c customSpec
+	if err := dec.Decode(&c); err != nil {
+		return Spec{}, fmt.Errorf("workloads: parsing custom spec: %w", err)
+	}
+	if c.Name == "" {
+		return Spec{}, fmt.Errorf("workloads: custom spec needs a name")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("workloads: custom spec %q: %w", c.Name, err)
+	}
+	return Spec{Name: c.Name, Params: c.Params}, nil
+}
+
+// SaveSpec serialises a workload spec as indented JSON, the format LoadSpec
+// reads.
+func SaveSpec(w io.Writer, s Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(customSpec{Name: s.Name, Params: s.Params}); err != nil {
+		return fmt.Errorf("workloads: writing custom spec: %w", err)
+	}
+	return nil
+}
