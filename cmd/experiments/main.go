@@ -7,13 +7,17 @@
 //	experiments -exp fig15 -v            # one figure with progress output
 //	experiments -exp fig9,fig15 -quick   # reduced scale
 //	experiments -exp all -full -out results.txt
+//	experiments -exp all -quick -jobs 8  # fan out over 8 workers
+//	experiments -exp fig15 -json results.json -csv results.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,8 +31,11 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale methodology (slow)")
 		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
 		measure = flag.Uint64("measure", 0, "override measured instructions per run")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		out     = flag.String("out", "", "write results to a file instead of stdout")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
+		jsonOut = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		csvOut  = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
+		verbose = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -39,6 +46,9 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := morrigan.DefaultExperimentOptions()
 	if *quick {
@@ -53,8 +63,15 @@ func main() {
 	if *measure > 0 {
 		opt.Measure = *measure
 	}
+	opt.Jobs = *jobs
+	opt.Context = ctx
 	if *verbose {
 		opt.Progress = os.Stderr
+	}
+	var rec *morrigan.CampaignRecorder
+	if *jsonOut != "" || *csvOut != "" {
+		rec = &morrigan.CampaignRecorder{}
+		opt.Record = rec
 	}
 
 	var w io.Writer = os.Stdout
@@ -78,11 +95,41 @@ func main() {
 		start := time.Now()
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
+			emitRecords(rec, *jsonOut, *csvOut)
 			fatal("%s: %v", id, err)
 		}
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	emitRecords(rec, *jsonOut, *csvOut)
+}
+
+// emitRecords writes whatever the recorder has collected so far; on a partial
+// (failed or interrupted) campaign that is every completed simulation.
+func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut string) {
+	if rec == nil {
+		return
+	}
+	c := rec.Campaign()
+	write := func(path string, emit func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		var w io.Writer = os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := emit(w); err != nil {
+			fatal("%v", err)
+		}
+	}
+	write(jsonOut, c.WriteJSON)
+	write(csvOut, c.WriteCSV)
 }
 
 func fatal(format string, args ...any) {

@@ -1,6 +1,6 @@
-// Command morrigansim runs one workload through the simulator under a
-// chosen iSTLB-prefetching configuration and prints the measurement
-// snapshot.
+// Command morrigansim runs one or more workloads through the simulator under
+// a chosen iSTLB-prefetching configuration and prints the measurement
+// snapshots.
 //
 // Examples:
 //
@@ -9,22 +9,26 @@
 //	morrigansim -workload qmm-srv-03 -smt qmm-srv-19 -prefetcher morrigan2x
 //	morrigansim -workload cassandra -icache fnlmma -icache-tlb-cost
 //	morrigansim -trace trace.mgt -prefetcher sp
+//	morrigansim -workload qmm-srv-01,qmm-srv-02,qmm-srv-03 -jobs 3 -json -
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
 
 	"morrigan"
 )
 
 func main() {
 	var (
-		workload  = flag.String("workload", "qmm-srv-01", "built-in workload name (see -list)")
+		workload  = flag.String("workload", "qmm-srv-01", "comma-separated built-in workload names (see -list)")
 		traceFile = flag.String("trace", "", "trace file to execute instead of a built-in workload")
-		smt       = flag.String("smt", "", "colocate a second workload on an SMT thread")
+		smt       = flag.String("smt", "", "colocate this second workload on an SMT thread of every run")
 		pf        = flag.String("prefetcher", "none", "iSTLB prefetcher: none|sp|asp|dp|mp|mp2inf|mpinf|morrigan|morrigan2x|mono")
 		icachePf  = flag.String("icache", "nextline", "I-cache prefetcher: nextline|fnlmma|epi|djolt")
 		icacheTLB = flag.Bool("icache-tlb-cost", false, "charge address translation for page-crossing I-cache prefetches")
@@ -35,6 +39,9 @@ func main() {
 		pb        = flag.Int("pb", 64, "prefetch buffer entries")
 		warmup    = flag.Uint64("warmup", 1_000_000, "warmup instructions")
 		measure   = flag.Uint64("measure", 5_000_000, "measured instructions")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut   = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
 	flag.Parse()
@@ -57,92 +64,157 @@ func main() {
 		return
 	}
 
-	cfg := morrigan.DefaultConfig()
-	cfg.PerfectISTLB = *perfect
-	cfg.PrefetchIntoSTLB = *p2tlb
-	cfg.Walker.ASAP = *asap
-	cfg.STLBEntries = *stlb
-	cfg.PBEntries = *pb
-	cfg.ICacheTLBCost = *icacheTLB
+	mkConfig := func() morrigan.Config {
+		cfg := morrigan.DefaultConfig()
+		cfg.PerfectISTLB = *perfect
+		cfg.PrefetchIntoSTLB = *p2tlb
+		cfg.Walker.ASAP = *asap
+		cfg.STLBEntries = *stlb
+		cfg.PBEntries = *pb
+		cfg.ICacheTLBCost = *icacheTLB
 
-	switch *pf {
-	case "none":
-	case "sp":
-		cfg.Prefetcher = morrigan.NewSP()
-	case "asp":
-		cfg.Prefetcher = morrigan.NewASP(440)
-	case "dp":
-		cfg.Prefetcher = morrigan.NewDP(648)
-	case "mp":
-		cfg.Prefetcher = morrigan.NewMP(128, 4)
-	case "mp2inf":
-		cfg.Prefetcher = morrigan.NewUnboundedMP(2)
-	case "mpinf":
-		cfg.Prefetcher = morrigan.NewUnboundedMP(0)
-	case "morrigan":
-		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.DefaultPrefetcherConfig())
-	case "morrigan2x":
-		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.ScaledPrefetcherConfig(2))
-	case "mono":
-		cfg.Prefetcher = morrigan.NewMorrigan(morrigan.MonoPrefetcherConfig())
-	default:
-		fatal("unknown prefetcher %q", *pf)
+		switch *pf {
+		case "none":
+		case "sp":
+			cfg.Prefetcher = morrigan.NewSP()
+		case "asp":
+			cfg.Prefetcher = morrigan.NewASP(440)
+		case "dp":
+			cfg.Prefetcher = morrigan.NewDP(648)
+		case "mp":
+			cfg.Prefetcher = morrigan.NewMP(128, 4)
+		case "mp2inf":
+			cfg.Prefetcher = morrigan.NewUnboundedMP(2)
+		case "mpinf":
+			cfg.Prefetcher = morrigan.NewUnboundedMP(0)
+		case "morrigan":
+			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.DefaultPrefetcherConfig())
+		case "morrigan2x":
+			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.ScaledPrefetcherConfig(2))
+		case "mono":
+			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.MonoPrefetcherConfig())
+		default:
+			fatal("unknown prefetcher %q", *pf)
+		}
+
+		switch *icachePf {
+		case "nextline":
+		case "fnlmma":
+			cfg.ICachePrefetcher = morrigan.NewFNLMMA()
+		case "epi":
+			cfg.ICachePrefetcher = morrigan.NewEPI()
+		case "djolt":
+			cfg.ICachePrefetcher = morrigan.NewDJolt()
+		default:
+			fatal("unknown I-cache prefetcher %q", *icachePf)
+		}
+		return cfg
 	}
+	mkConfig() // validate the prefetcher names before launching anything
 
-	switch *icachePf {
-	case "nextline":
-	case "fnlmma":
-		cfg.ICachePrefetcher = morrigan.NewFNLMMA()
-	case "epi":
-		cfg.ICachePrefetcher = morrigan.NewEPI()
-	case "djolt":
-		cfg.ICachePrefetcher = morrigan.NewDJolt()
-	default:
-		fatal("unknown I-cache prefetcher %q", *icachePf)
+	cjobs := buildJobs(*workload, *traceFile, *smt, mkConfig, *warmup, *measure)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt := morrigan.CampaignOptions{Workers: *jobs}
+	if *verbose {
+		opt.Progress = morrigan.CampaignWriterProgress(os.Stderr)
 	}
+	results, err := morrigan.RunCampaign(ctx, cjobs, opt)
 
-	threads, label := buildThreads(*workload, *traceFile, *smt)
-	s, err := morrigan.NewSimulator(cfg, threads)
+	for i, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "morrigansim: %s: %v\n", res.Job.Workload, res.Err)
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printStats(res.Job.Workload, *pf, res.Stats)
+	}
+	if *jsonOut != "" {
+		c := morrigan.Campaign{Schema: morrigan.CampaignSchemaVersion}
+		for _, res := range results {
+			c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
+		}
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, ferr := os.Create(*jsonOut)
+			if ferr != nil {
+				fatal("%v", ferr)
+			}
+			defer f.Close()
+			w = f
+		}
+		if jerr := c.WriteJSON(w); jerr != nil {
+			fatal("%v", jerr)
+		}
+	}
 	if err != nil {
-		fatal("%v", err)
+		os.Exit(1)
 	}
-	st, err := s.Run(*warmup, *measure)
-	if err != nil {
-		fatal("%v", err)
-	}
-	printStats(label, *pf, st)
 }
 
-func buildThreads(workload, traceFile, smt string) ([]morrigan.ThreadSpec, string) {
-	var threads []morrigan.ThreadSpec
-	label := workload
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			fatal("%v", err)
-		}
-		r, err := morrigan.NewTraceFileReader(f)
-		if err != nil {
-			fatal("%v", err)
-		}
-		threads = append(threads, morrigan.ThreadSpec{Reader: r})
-		label = traceFile
-	} else {
-		w, ok := morrigan.WorkloadByName(workload)
-		if !ok {
-			fatal("unknown workload %q (use -list)", workload)
-		}
-		threads = append(threads, morrigan.ThreadSpec{Reader: w.NewReader()})
-	}
+// buildJobs enumerates one campaign job per requested workload (or one for
+// the trace file), optionally colocating the -smt workload on every run.
+func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config, warmup, measure uint64) []morrigan.CampaignJob {
+	smtSpec := morrigan.Workload{}
 	if smt != "" {
 		w, ok := morrigan.WorkloadByName(smt)
 		if !ok {
 			fatal("unknown SMT workload %q", smt)
 		}
-		threads = append(threads, morrigan.ThreadSpec{Reader: w.NewReader(), VAOffset: 1 << 40})
-		label += "+" + smt
+		smtSpec = w
 	}
-	return threads, label
+	threads := func(mk func() morrigan.TraceReader) func() []morrigan.ThreadSpec {
+		return func() []morrigan.ThreadSpec {
+			out := []morrigan.ThreadSpec{{Reader: mk()}}
+			if smt != "" {
+				out = append(out, morrigan.ThreadSpec{Reader: smtSpec.NewReader(), VAOffset: 1 << 40})
+			}
+			return out
+		}
+	}
+	label := func(name string) string {
+		if smt != "" {
+			return name + "+" + smt
+		}
+		return name
+	}
+	var jobs []morrigan.CampaignJob
+	if traceFile != "" {
+		jobs = append(jobs, morrigan.CampaignJob{
+			Workload: label(traceFile),
+			Warmup:   warmup, Measure: measure,
+			NewConfig: mkConfig,
+			NewThreads: threads(func() morrigan.TraceReader {
+				f, err := os.Open(traceFile)
+				if err != nil {
+					fatal("%v", err)
+				}
+				r, err := morrigan.NewTraceFileReader(f)
+				if err != nil {
+					fatal("%v", err)
+				}
+				return r
+			}),
+		})
+		return jobs
+	}
+	for _, name := range strings.Split(workload, ",") {
+		name = strings.TrimSpace(name)
+		w, ok := morrigan.WorkloadByName(name)
+		if !ok {
+			fatal("unknown workload %q (use -list)", name)
+		}
+		jobs = append(jobs, morrigan.CampaignJob{
+			Workload: label(name),
+			Warmup:   warmup, Measure: measure,
+			NewConfig:  mkConfig,
+			NewThreads: threads(w.NewReader),
+		})
+	}
+	return jobs
 }
 
 func printStats(label, pf string, st morrigan.Stats) {

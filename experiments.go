@@ -1,10 +1,12 @@
 package morrigan
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"morrigan/internal/experiments"
+	"morrigan/internal/runner"
 	"morrigan/internal/trace"
 	"morrigan/internal/workloads"
 )
@@ -42,6 +44,47 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 	}
 	return fn(opt)
 }
+
+// Campaign orchestration (see internal/runner). A campaign is a set of
+// independent simulation jobs fanned out over a bounded worker pool with
+// results returned in deterministic job order.
+type (
+	// CampaignJob is one independent simulation of a campaign.
+	CampaignJob = runner.Job
+	// CampaignResult is the outcome of one job.
+	CampaignResult = runner.Result
+	// CampaignOptions bounds worker count, per-job timeouts and progress.
+	CampaignOptions = runner.Options
+	// CampaignRecord is one job's machine-readable result.
+	CampaignRecord = runner.Record
+	// Campaign is the schema-versioned collection of campaign results,
+	// with JSON and CSV emitters.
+	Campaign = runner.Campaign
+	// CampaignRecorder collects results across campaigns; its zero value
+	// is ready to use.
+	CampaignRecorder = runner.Recorder
+	// CampaignEvent is one progress notification.
+	CampaignEvent = runner.Event
+	// CampaignProgress receives progress notifications.
+	CampaignProgress = runner.ProgressFunc
+)
+
+// CampaignSchemaVersion identifies the JSON/CSV result schema.
+const CampaignSchemaVersion = runner.SchemaVersion
+
+// RunCampaign executes the jobs over a worker pool and returns one result per
+// job, in job order; see CampaignOptions. A nil ctx means context.Background().
+func RunCampaign(ctx context.Context, jobs []CampaignJob, opt CampaignOptions) ([]CampaignResult, error) {
+	return runner.Run(ctx, jobs, opt)
+}
+
+// CampaignWriterProgress returns a progress function printing one line per
+// completed job, with campaign progress and an ETA, to w.
+func CampaignWriterProgress(w io.Writer) CampaignProgress { return runner.WriterProgress(w) }
+
+// NewCampaignRecord converts one campaign result into its machine-readable
+// form.
+func NewCampaignRecord(res CampaignResult) CampaignRecord { return runner.NewRecord(res) }
 
 // Trace file I/O.
 

@@ -12,23 +12,47 @@ import (
 // relative to the paper's 3.76 KB configuration.
 var budgetPoints = []float64{0.25, 0.5, 1, 2, 4}
 
-// coverageAt runs Morrigan with the given core config over the suite and
-// returns the mean miss coverage (PB hits / iSTLB misses) in percent.
-func (o Options) coverageAt(mc core.Config, pbEntries int) (float64, error) {
-	var cov []float64
-	for _, w := range o.qmm() {
-		cfg := sim.DefaultConfig()
-		if pbEntries > 0 {
-			cfg.PBEntries = pbEntries
+// coveragePoint is one Morrigan configuration in a coverage sweep.
+type coveragePoint struct {
+	label     string
+	mc        core.Config
+	pbEntries int // 0 keeps the default PB size
+}
+
+// coverageSweep runs every point over the suite as one campaign and returns
+// each point's mean miss coverage (PB hits / iSTLB misses) in percent, in
+// point order.
+func (o Options) coverageSweep(experiment string, points []coveragePoint) ([]float64, error) {
+	specs := o.qmm()
+	jobs := make([]simJob, 0, len(points)*len(specs))
+	for _, p := range points {
+		p := p
+		for _, w := range specs {
+			jobs = append(jobs, job(p.label, w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				if p.pbEntries > 0 {
+					cfg.PBEntries = p.pbEntries
+				}
+				cfg.Prefetcher = core.New(p.mc)
+				return cfg
+			}))
 		}
-		cfg.Prefetcher = core.New(mc)
-		st, err := o.run(cfg, w)
-		if err != nil {
-			return 0, err
-		}
-		cov = append(cov, stats.Percent(st.PBHits, st.ISTLBMisses))
 	}
-	return stats.Mean(cov), nil
+	sts, err := o.campaign(experiment, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(points))
+	k := 0
+	for i := range points {
+		var cov []float64
+		for range specs {
+			cov = append(cov, stats.Percent(sts[k].PBHits, sts[k].ISTLBMisses))
+			k++
+		}
+		out[i] = stats.Mean(cov)
+	}
+	return out, nil
 }
 
 // Fig13 sweeps Morrigan's miss coverage against the IRIP storage budget with
@@ -41,15 +65,19 @@ func Fig13(o Options) (*Table, error) {
 		Header: []string{"budget", "coverage"},
 		Notes:  []string{"paper: steep rise at small budgets, plateau beyond ~5-7.5 KB; 81% at 3.76 KB"},
 	}
-	for _, f := range budgetPoints {
+	points := make([]coveragePoint, len(budgetPoints))
+	bytes := make([]float64, len(budgetPoints))
+	for i, f := range budgetPoints {
 		mc := core.FullyAssociative(core.ScaledConfig(f))
-		bytes := core.New(mc).StorageBytes()
-		cov, err := o.coverageAt(mc, 0)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("fig13 %.2fKB: %.1f%%", bytes/1024, cov)
-		t.AddRow(fmt.Sprintf("%.2f KB", bytes/1024), pct(cov))
+		bytes[i] = core.New(mc).StorageBytes()
+		points[i] = coveragePoint{label: fmt.Sprintf("%.2f KB", bytes[i]/1024), mc: mc}
+	}
+	cov, err := o.coverageSweep(t.ID, points)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		t.AddRow(p.label, pct(cov[i]))
 	}
 	return t, nil
 }
@@ -67,19 +95,30 @@ func Fig14(o Options) (*Table, error) {
 			"paper: frequency-based policies dominate recency at small budgets; RLFU adds a second-chance bonus over LFU",
 		},
 	}
+	var points []coveragePoint
+	var labels []string
 	for _, f := range budgetPoints {
 		mc := core.FullyAssociative(core.ScaledConfig(f))
 		bytes := core.New(mc).StorageBytes()
-		row := []string{fmt.Sprintf("%.2f KB", bytes/1024)}
+		labels = append(labels, fmt.Sprintf("%.2f KB", bytes/1024))
 		for _, p := range policies {
 			pmc := mc
 			pmc.Policy = p
-			cov, err := o.coverageAt(pmc, 0)
-			if err != nil {
-				return nil, err
-			}
-			o.progress("fig14 %.2fKB %s: %.1f%%", bytes/1024, p, cov)
-			row = append(row, pct(cov))
+			points = append(points, coveragePoint{
+				label: fmt.Sprintf("%.2f KB %s", bytes/1024, p), mc: pmc,
+			})
+		}
+	}
+	cov, err := o.coverageSweep(t.ID, points)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, label := range labels {
+		row := []string{label}
+		for range policies {
+			row = append(row, pct(cov[k]))
+			k++
 		}
 		t.AddRow(row...)
 	}
@@ -99,25 +138,21 @@ func Sec613(o Options) (*Table, error) {
 			"paper PB sweep: 16/32 entries lose 4-12%, 128 entries gain ~2% over 64",
 		},
 	}
-	// Associativity study.
-	saCov, err := o.coverageAt(core.DefaultConfig(), 0)
-	if err != nil {
-		return nil, err
+	points := []coveragePoint{
+		{label: "set-associative (selected)", mc: core.DefaultConfig()},
+		{label: "fully associative", mc: core.FullyAssociative(core.DefaultConfig())},
 	}
-	faCov, err := o.coverageAt(core.FullyAssociative(core.DefaultConfig()), 0)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("set-associative (selected)", pct(saCov))
-	t.AddRow("fully associative", pct(faCov))
-	// PB size study.
 	for _, pb := range []int{16, 32, 64, 128} {
-		cov, err := o.coverageAt(core.DefaultConfig(), pb)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("sec613 pb=%d: %.1f%%", pb, cov)
-		t.AddRow(fmt.Sprintf("PB %d entries", pb), pct(cov))
+		points = append(points, coveragePoint{
+			label: fmt.Sprintf("PB %d entries", pb), mc: core.DefaultConfig(), pbEntries: pb,
+		})
+	}
+	cov, err := o.coverageSweep(t.ID, points)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		t.AddRow(p.label, pct(cov[i]))
 	}
 	return t, nil
 }

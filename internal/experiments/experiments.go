@@ -3,6 +3,12 @@
 // returns a Table that cmd/experiments renders and EXPERIMENTS.md records;
 // bench_test.go wraps each one in a testing.B benchmark.
 //
+// Every experiment enumerates its simulations as independent jobs and hands
+// them to the internal/runner campaign orchestrator, which fans them out
+// over a worker pool (Options.Jobs) and returns results in job order —
+// aggregation therefore sees exactly the sequence a serial run would, and
+// table output is byte-identical at any worker count.
+//
 // Absolute numbers differ from the paper — the substrate is this
 // repository's simulator and synthetic traces, not ChampSim on the Qualcomm
 // traces — but each experiment preserves the paper's comparison structure:
@@ -12,10 +18,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
+	"morrigan/internal/arch"
+	"morrigan/internal/runner"
 	"morrigan/internal/sim"
 	"morrigan/internal/workloads"
 )
@@ -29,8 +38,19 @@ type Options struct {
 	MaxWorkloads int
 	// SMTPairs is the number of colocation pairs for Figure 20.
 	SMTPairs int
-	// Progress, when non-nil, receives one line per completed simulation.
+	// Jobs bounds how many simulations run concurrently (0 = GOMAXPROCS;
+	// 1 reproduces serial execution exactly). Results are merged in
+	// deterministic job order either way, so rendered tables are identical
+	// at any setting.
+	Jobs int
+	// Progress, when non-nil, receives one line per completed simulation
+	// with campaign progress and an ETA.
 	Progress io.Writer
+	// Context, when non-nil, cancels in-flight campaigns early.
+	Context context.Context
+	// Record, when non-nil, collects every simulation result for
+	// machine-readable JSON/CSV emission (see internal/runner).
+	Record *runner.Recorder
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -64,11 +84,100 @@ func (o Options) qmm() []workloads.Spec {
 	return out
 }
 
-// progress reports one finished simulation.
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
+// simJob is one enumerated simulation of an experiment campaign.
+type simJob struct {
+	// config labels the machine configuration under test ("baseline",
+	// a contender name, ...).
+	config string
+	// specs holds one workload, or two for an SMT colocation pair.
+	specs []workloads.Spec
+	// mk builds the machine configuration; it runs on the worker goroutine
+	// and must return freshly constructed state on every call.
+	mk func() sim.Config
+}
+
+// job enumerates a single-threaded simulation.
+func job(config string, w workloads.Spec, mk func() sim.Config) simJob {
+	return simJob{config: config, specs: []workloads.Spec{w}, mk: mk}
+}
+
+// pairJob enumerates an SMT colocation simulation. The second workload's
+// address space is offset so the two behave as distinct processes.
+func pairJob(config string, a, b workloads.Spec, mk func() sim.Config) simJob {
+	return simJob{config: config, specs: []workloads.Spec{a, b}, mk: mk}
+}
+
+// baseline builds the no-prefetching Table 1 configuration.
+func baseline() sim.Config { return sim.DefaultConfig() }
+
+// campaign runs the jobs through the campaign orchestrator and returns their
+// stats in job order. Aggregation code consuming the returned slice in
+// enumeration order therefore produces output identical to a serial run.
+func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error) {
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		j := j
+		name := j.specs[0].Name
+		if len(j.specs) == 2 {
+			name += "+" + j.specs[1].Name
+		}
+		rjobs[i] = runner.Job{
+			Experiment: experiment,
+			Config:     j.config,
+			Workload:   name,
+			Warmup:     o.Warmup,
+			Measure:    o.Measure,
+			NewConfig:  j.mk,
+			NewThreads: func() []sim.ThreadSpec {
+				threads := []sim.ThreadSpec{{Reader: j.specs[0].NewReader()}}
+				if len(j.specs) == 2 {
+					threads = append(threads, sim.ThreadSpec{
+						Reader: j.specs[1].NewReader(), VAOffset: 1 << 40,
+					})
+				}
+				return threads
+			},
+		}
 	}
+	results, err := runner.Run(o.Context, rjobs, runner.Options{
+		Workers:  o.Jobs,
+		Progress: runner.WriterProgress(o.Progress),
+	})
+	if o.Record != nil {
+		o.Record.Add(results)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	sts := make([]sim.Stats, len(results))
+	for i := range results {
+		sts[i] = results[i].Stats
+	}
+	return sts, nil
+}
+
+// missStreams runs one baseline simulation per spec, capturing each run's
+// iSTLB miss stream; streams and stats are returned in spec order. Each
+// stream slice is written only by its own job's worker and read only after
+// the campaign completes.
+func (o Options) missStreams(experiment string, specs []workloads.Spec) ([][]uint64, []sim.Stats, error) {
+	streams := make([][]uint64, len(specs))
+	jobs := make([]simJob, len(specs))
+	for i, w := range specs {
+		i := i
+		jobs[i] = job("baseline", w, func() sim.Config {
+			cfg := sim.DefaultConfig()
+			cfg.OnISTLBMiss = func(_ arch.ThreadID, vpn arch.VPN) {
+				streams[i] = append(streams[i], uint64(vpn))
+			}
+			return cfg
+		})
+	}
+	sts, err := o.campaign(experiment, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return streams, sts, nil
 }
 
 // Table is a rendered experiment result.
@@ -121,36 +230,6 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
-}
-
-// run executes one single-threaded simulation of spec under cfg.
-func (o Options) run(cfg sim.Config, spec workloads.Spec) (sim.Stats, error) {
-	s, err := sim.New(cfg, []sim.ThreadSpec{{Reader: spec.NewReader()}})
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
-	}
-	st, err := s.Run(o.Warmup, o.Measure)
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
-	}
-	return st, nil
-}
-
-// runPair executes one SMT colocation simulation. The second workload's
-// address space is offset so the two behave as distinct processes.
-func (o Options) runPair(cfg sim.Config, a, b workloads.Spec) (sim.Stats, error) {
-	s, err := sim.New(cfg, []sim.ThreadSpec{
-		{Reader: a.NewReader()},
-		{Reader: b.NewReader(), VAOffset: 1 << 40},
-	})
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("experiments: %s+%s: %w", a.Name, b.Name, err)
-	}
-	st, err := s.Run(o.Warmup, o.Measure)
-	if err != nil {
-		return sim.Stats{}, fmt.Errorf("experiments: %s+%s: %w", a.Name, b.Name, err)
-	}
-	return st, nil
 }
 
 // pct formats a percentage with one decimal.

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"morrigan/internal/runner"
 )
 
 // tinyOptions keeps experiment tests fast; experiment correctness at scale
@@ -190,6 +192,35 @@ func TestFig20SMT(t *testing.T) {
 	}
 	if byName["Morrigan(2x)+FNL+MMA"] <= 0 {
 		t.Error("combined SMT configuration should speed up")
+	}
+}
+
+// TestParallelCampaignDeterministic is the campaign acceptance check at the
+// experiment layer: the rendered table must be byte-identical whether the
+// simulations ran serially or over a worker pool, and the recorder must
+// collect one record per simulation either way.
+func TestParallelCampaignDeterministic(t *testing.T) {
+	render := func(jobs int) (string, int) {
+		o := tinyOptions()
+		o.MaxWorkloads = 2
+		o.Jobs = jobs
+		var rec runner.Recorder
+		o.Record = &rec
+		tab, err := Fig4(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tab.Render(&sb)
+		return sb.String(), rec.Len()
+	}
+	serial, nSerial := render(1)
+	parallel, nParallel := render(3)
+	if serial != parallel {
+		t.Errorf("rendered table differs between -jobs 1 and -jobs 3:\n%s\n---\n%s", serial, parallel)
+	}
+	if nSerial != 2 || nParallel != 2 {
+		t.Errorf("recorder lengths = %d, %d, want 2 each", nSerial, nParallel)
 	}
 }
 

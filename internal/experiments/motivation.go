@@ -46,13 +46,17 @@ func Fig2(o Options) (*Table, error) {
 		Header: []string{"workload", "iSTLB MPKI"},
 		Notes:  []string{"paper: 0.6-2.1 MPKI across DaCapo/Renaissance on Skylake"},
 	}
-	for _, w := range workloads.Java() {
-		st, err := o.run(sim.DefaultConfig(), w)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("fig2 %s: %.2f", w.Name, st.ISTLBMPKI)
-		t.AddRow(w.Name, f2(st.ISTLBMPKI))
+	java := workloads.Java()
+	jobs := make([]simJob, len(java))
+	for i, w := range java {
+		jobs[i] = job("baseline", w, baseline)
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range java {
+		t.AddRow(w.Name, f2(sts[i].ISTLBMPKI))
 	}
 	return t, nil
 }
@@ -73,14 +77,22 @@ func Fig3(o Options) (*Table, error) {
 		{"SPEC-like", workloads.SPEC()},
 		{"QMM-like", o.qmm()},
 	}
+	var jobs []simJob
+	for _, suite := range suites {
+		for _, w := range suite.specs {
+			jobs = append(jobs, job(suite.name, w, baseline))
+		}
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, suite := range suites {
 		var l1i, itlb, istlb []float64
-		for _, w := range suite.specs {
-			st, err := o.run(sim.DefaultConfig(), w)
-			if err != nil {
-				return nil, err
-			}
-			o.progress("fig3 %s: l1i=%.2f itlb=%.2f istlb=%.2f", w.Name, st.L1IMPKI, st.ITLBMPKI, st.ISTLBMPKI)
+		for range suite.specs {
+			st := sts[k]
+			k++
 			l1i = append(l1i, st.L1IMPKI)
 			itlb = append(itlb, st.ITLBMPKI)
 			istlb = append(istlb, st.ISTLBMPKI)
@@ -99,27 +111,22 @@ func Fig4(o Options) (*Table, error) {
 		Header: []string{"workload", "translation cycles"},
 		Notes:  []string{"paper: 6.6%-11.7%; VTune flags >5% as a bottleneck"},
 	}
+	qmm := o.qmm()
+	jobs := make([]simJob, len(qmm))
+	for i, w := range qmm {
+		jobs[i] = job("baseline", w, baseline)
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var all []float64
-	for _, w := range o.qmm() {
-		st, err := o.run(sim.DefaultConfig(), w)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("fig4 %s: %.1f%%", w.Name, st.TranslationCyclePct)
-		all = append(all, st.TranslationCyclePct)
-		t.AddRow(w.Name, pct(st.TranslationCyclePct))
+	for i, w := range qmm {
+		all = append(all, sts[i].TranslationCyclePct)
+		t.AddRow(w.Name, pct(sts[i].TranslationCyclePct))
 	}
 	t.AddRow("mean", pct(stats.Mean(all)))
 	return t, nil
-}
-
-// missStream gathers the iSTLB miss stream of one baseline run.
-func (o Options) missStream(w workloads.Spec) ([]uint64, sim.Stats, error) {
-	var stream []uint64
-	cfg := sim.DefaultConfig()
-	cfg.OnISTLBMiss = func(tid arch.ThreadID, vpn arch.VPN) { stream = append(stream, uint64(vpn)) }
-	st, err := o.run(cfg, w)
-	return stream, st, err
 }
 
 // Fig5 builds the cumulative distribution of deltas between consecutive
@@ -131,13 +138,12 @@ func Fig5(o Options) (*Table, error) {
 		Header: []string{"|delta| <=", "cumulative"},
 		Notes:  []string{"paper: |delta| in [1,10] accounts for ~19% of deltas"},
 	}
+	streams, _, err := o.missStreams(t.ID, o.qmm())
+	if err != nil {
+		return nil, err
+	}
 	agg := stats.NewDeltaDistribution()
-	for _, w := range o.qmm() {
-		stream, _, err := o.missStream(w)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("fig5 %s: %d misses", w.Name, len(stream))
+	for _, stream := range streams {
 		for _, p := range stream {
 			agg.Observe(p)
 		}
@@ -164,17 +170,19 @@ func Fig6(o Options) (*Table, error) {
 	qmm := o.qmm()
 	// Representative sample across footprints, as the paper plots.
 	idx := []int{0, len(qmm) / 4, len(qmm) / 2, 3 * len(qmm) / 4, len(qmm) - 1}
-	for _, i := range idx {
-		w := qmm[i]
-		stream, _, err := o.missStream(w)
-		if err != nil {
-			return nil, err
-		}
+	specs := make([]workloads.Spec, len(idx))
+	for i, j := range idx {
+		specs[i] = qmm[j]
+	}
+	streams, _, err := o.missStreams(t.ID, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range specs {
 		pf := stats.NewPageFrequency()
-		for _, p := range stream {
+		for _, p := range streams[i] {
 			pf.Observe(p)
 		}
-		o.progress("fig6 %s: %d pages", w.Name, pf.Pages())
 		t.AddRow(w.Name,
 			fmt.Sprintf("%d", pf.Total()),
 			fmt.Sprintf("%d", pf.Pages()),
@@ -194,18 +202,17 @@ func Fig7(o Options) (*Table, error) {
 		Header: []string{"workload", "=1", "=2", "3-4", "5-8", ">8"},
 		Notes:  []string{"paper: large fractions at 1-2, sizable up to 8, few beyond"},
 	}
+	streams, _, err := o.missStreams(t.ID, o.qmm())
+	if err != nil {
+		return nil, err
+	}
 	var a1, a2, a4, a8, am []float64
-	for _, w := range o.qmm() {
-		stream, _, err := o.missStream(w)
-		if err != nil {
-			return nil, err
-		}
+	for _, stream := range streams {
 		ss := stats.NewSuccessorStats()
 		for _, p := range stream {
 			ss.Observe(p)
 		}
 		one, two, four, eight, more := ss.SuccessorHistogram()
-		o.progress("fig7 %s", w.Name)
 		a1, a2, a4 = append(a1, one), append(a2, two), append(a4, four)
 		a8, am = append(a8, eight), append(am, more)
 	}
@@ -224,18 +231,17 @@ func Fig8(o Options) (*Table, error) {
 		Header: []string{"suite", "1st", "2nd", "3rd", "rest"},
 		Notes:  []string{"paper: 51% / 21% / 11% / 17%"},
 	}
+	streams, _, err := o.missStreams(t.ID, o.qmm())
+	if err != nil {
+		return nil, err
+	}
 	var f, s2, s3, r []float64
-	for _, w := range o.qmm() {
-		stream, _, err := o.missStream(w)
-		if err != nil {
-			return nil, err
-		}
+	for _, stream := range streams {
 		ss := stats.NewSuccessorStats()
 		for _, p := range stream {
 			ss.Observe(p)
 		}
 		first, second, third, rest := ss.TopPageSuccessorProbabilities(50)
-		o.progress("fig8 %s: %.0f/%.0f/%.0f/%.0f", w.Name, first, second, third, rest)
 		f, s2 = append(f, first), append(s2, second)
 		s3, r = append(s3, third), append(r, rest)
 	}

@@ -13,35 +13,39 @@ import (
 // Fig10 evaluates the FNL+MMA-style I-cache prefetcher with and without
 // address translation costs (paper Figure 10 and Section 3.5).
 func Fig10(o Options) (*Table, error) {
+	specs := o.qmm()
+	var jobs []simJob
+	for _, w := range specs {
+		jobs = append(jobs,
+			job("baseline", w, baseline),
+			// "FNL+MMA": the IPC-1 infrastructure, where instruction address
+			// translation is not modelled (all page-crossing prefetches are
+			// translated for free and the iSTLB never misses).
+			job("FNL+MMA", w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
+				cfg.PerfectISTLB = true
+				return cfg
+			}),
+			// "FNL+MMA+TLB": translation is modelled; page-crossing
+			// prefetches need page walks and contend for walker MSHRs.
+			job("FNL+MMA+TLB", w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
+				cfg.ICacheTLBCost = true
+				return cfg
+			}))
+	}
+	sts, err := o.campaign("fig10", jobs)
+	if err != nil {
+		return nil, err
+	}
 	var ideal, costed, missRed []float64
-	for _, w := range o.qmm() {
-		base, err := o.run(sim.DefaultConfig(), w)
-		if err != nil {
-			return nil, err
-		}
-		// "FNL+MMA": the IPC-1 infrastructure, where instruction address
-		// translation is not modelled (all page-crossing prefetches are
-		// translated for free and the iSTLB never misses).
-		cfg := sim.DefaultConfig()
-		cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-		cfg.PerfectISTLB = true
-		ist, err := o.run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		// "FNL+MMA+TLB": translation is modelled; page-crossing prefetches
-		// need page walks and contend for walker MSHRs.
-		cfg = sim.DefaultConfig()
-		cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-		cfg.ICacheTLBCost = true
-		cst, err := o.run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
+	for i := range specs {
+		base, ist, cst := sts[3*i], sts[3*i+1], sts[3*i+2]
 		ideal = append(ideal, stats.Speedup(uint64(base.Cycles), uint64(ist.Cycles)))
 		costed = append(costed, stats.Speedup(uint64(base.Cycles), uint64(cst.Cycles)))
 		missRed = append(missRed, stats.Coverage(base.DemandIWalks, cst.DemandIWalks))
-		o.progress("fig10 %s: ideal %+.2f%% costed %+.2f%%", w.Name, ideal[len(ideal)-1], costed[len(costed)-1])
 	}
 	t := &Table{
 		ID:     "fig10",
@@ -95,7 +99,7 @@ func Fig18(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("fig18", contenders)
 	if err != nil {
 		return nil, err
 	}
@@ -123,41 +127,43 @@ func Fig18(o Options) (*Table, error) {
 // Fig19 demonstrates the synergy between Morrigan and page-crossing I-cache
 // prefetching (paper Figure 19). All configurations pay translation costs.
 func Fig19(o Options) (*Table, error) {
+	specs := o.qmm()
+	var jobs []simJob
+	for _, w := range specs {
+		jobs = append(jobs,
+			job("baseline", w, baseline),
+			job("FNL+MMA", w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
+				cfg.ICacheTLBCost = true
+				return cfg
+			}),
+			job("Morrigan", w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				cfg.Prefetcher = core.New(core.DefaultConfig())
+				return cfg
+			}),
+			job("Morrigan+FNL+MMA", w, func() sim.Config {
+				cfg := sim.DefaultConfig()
+				cfg.Prefetcher = core.New(core.DefaultConfig())
+				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
+				cfg.ICacheTLBCost = true
+				return cfg
+			}))
+	}
+	sts, err := o.campaign("fig19", jobs)
+	if err != nil {
+		return nil, err
+	}
 	var fnl, mor, both []float64
 	var pbServed, xWalks uint64
-	for _, w := range o.qmm() {
-		base, err := o.run(sim.DefaultConfig(), w)
-		if err != nil {
-			return nil, err
-		}
-		cfg := sim.DefaultConfig()
-		cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-		cfg.ICacheTLBCost = true
-		fst, err := o.run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		cfg = sim.DefaultConfig()
-		cfg.Prefetcher = core.New(core.DefaultConfig())
-		mst, err := o.run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
-		cfg = sim.DefaultConfig()
-		cfg.Prefetcher = core.New(core.DefaultConfig())
-		cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-		cfg.ICacheTLBCost = true
-		bst, err := o.run(cfg, w)
-		if err != nil {
-			return nil, err
-		}
+	for i := range specs {
+		base, fst, mst, bst := sts[4*i], sts[4*i+1], sts[4*i+2], sts[4*i+3]
 		fnl = append(fnl, stats.Speedup(uint64(base.Cycles), uint64(fst.Cycles)))
 		mor = append(mor, stats.Speedup(uint64(base.Cycles), uint64(mst.Cycles)))
 		both = append(both, stats.Speedup(uint64(base.Cycles), uint64(bst.Cycles)))
 		pbServed += bst.ICachePBHits
 		xWalks += bst.ICachePBHits + bst.ICacheXPageWalks
-		o.progress("fig19 %s: fnl %+.2f mor %+.2f both %+.2f", w.Name,
-			fnl[len(fnl)-1], mor[len(mor)-1], both[len(both)-1])
 	}
 	t := &Table{
 		ID:     "fig19",
@@ -210,21 +216,28 @@ func Fig20(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	speedups := make(map[string][]float64)
+	var jobs []simJob
 	for _, p := range pairs {
-		base, err := o.runPair(sim.DefaultConfig(), p[0], p[1])
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, pairJob("baseline", p[0], p[1], baseline))
 		for _, m := range makers {
-			st, err := o.runPair(m.mk(), p[0], p[1])
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, pairJob(m.name, p[0], p[1], m.mk))
+		}
+	}
+	sts, err := o.campaign("fig20", jobs)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make(map[string][]float64)
+	k := 0
+	for range pairs {
+		base := sts[k]
+		k++
+		for _, m := range makers {
+			st := sts[k]
+			k++
 			speedups[m.name] = append(speedups[m.name],
 				stats.Speedup(uint64(base.Cycles), uint64(st.Cycles)))
 		}
-		o.progress("fig20 %s+%s done", p[0].Name, p[1].Name)
 	}
 	t := &Table{
 		ID:     "fig20",
@@ -272,7 +285,7 @@ func Ablations(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("ablations", contenders)
 	if err != nil {
 		return nil, err
 	}

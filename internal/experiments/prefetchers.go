@@ -52,22 +52,32 @@ type aggregate struct {
 }
 
 // compare runs every contender against the no-prefetching baseline over the
-// QMM suite.
-func (o Options) compare(contenders []contender) (map[string]*aggregate, error) {
+// QMM suite, as one campaign: per workload, one baseline job followed by one
+// job per contender.
+func (o Options) compare(experiment string, contenders []contender) (map[string]*aggregate, error) {
 	out := make(map[string]*aggregate, len(contenders))
 	for _, c := range contenders {
 		out[c.name] = &aggregate{}
 	}
-	for _, w := range o.qmm() {
-		base, err := o.run(sim.DefaultConfig(), w)
-		if err != nil {
-			return nil, err
-		}
+	specs := o.qmm()
+	jobs := make([]simJob, 0, len(specs)*(1+len(contenders)))
+	for _, w := range specs {
+		jobs = append(jobs, job("baseline", w, baseline))
 		for _, c := range contenders {
-			st, err := o.run(c.mk(), w)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job(c.name, w, c.mk))
+		}
+	}
+	sts, err := o.campaign(experiment, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for range specs {
+		base := sts[k]
+		k++
+		for _, c := range contenders {
+			st := sts[k]
+			k++
 			a := out[c.name]
 			a.speedups = append(a.speedups, stats.Speedup(uint64(base.Cycles), uint64(st.Cycles)))
 			a.coverage = append(a.coverage, stats.Percent(st.PBHits, st.ISTLBMisses))
@@ -79,7 +89,6 @@ func (o Options) compare(contenders []contender) (map[string]*aggregate, error) 
 				a.levels[l] += st.PrefetchRefsByLevel[l]
 			}
 			a.stats = append(a.stats, st)
-			o.progress("%s %s: %+.2f%%", w.Name, c.name, a.speedups[len(a.speedups)-1])
 		}
 	}
 	return out, nil
@@ -126,7 +135,7 @@ func Fig9(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("fig9", contenders)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +185,7 @@ func Fig15(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("fig15", contenders)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +238,7 @@ func Fig16(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("fig16", contenders)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +286,7 @@ func Fig17(o Options) (*Table, error) {
 			return c
 		}},
 	}
-	agg, err := o.compare(contenders)
+	agg, err := o.compare("fig17", contenders)
 	if err != nil {
 		return nil, err
 	}

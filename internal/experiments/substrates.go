@@ -33,27 +33,39 @@ func PageTables(o Options) (*Table, error) {
 			"paper: hashed page tables preserve page table locality, so Morrigan operates the same",
 		},
 	}
+	specs := o.qmm()
+	var jobs []simJob
+	for _, v := range variants {
+		kind := v.kind
+		for _, w := range specs {
+			jobs = append(jobs,
+				job(v.name+" baseline", w, func() sim.Config {
+					cfg := sim.DefaultConfig()
+					cfg.PageTable = kind
+					return cfg
+				}),
+				job(v.name+" Morrigan", w, func() sim.Config {
+					cfg := sim.DefaultConfig()
+					cfg.PageTable = kind
+					cfg.Prefetcher = core.New(core.DefaultConfig())
+					return cfg
+				}))
+		}
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, v := range variants {
 		var speedups, cov, lat, rpw []float64
-		for _, w := range o.qmm() {
-			base := sim.DefaultConfig()
-			base.PageTable = v.kind
-			bst, err := o.run(base, w)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.PageTable = v.kind
-			cfg.Prefetcher = core.New(core.DefaultConfig())
-			mst, err := o.run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
+		for range specs {
+			bst, mst := sts[k], sts[k+1]
+			k += 2
 			speedups = append(speedups, stats.Speedup(uint64(bst.Cycles), uint64(mst.Cycles)))
 			cov = append(cov, stats.Percent(mst.PBHits, mst.ISTLBMisses))
 			lat = append(lat, bst.AvgIWalkLatency)
 			rpw = append(rpw, bst.RefsPerWalk)
-			o.progress("pagetables %s %s", v.name, w.Name)
 		}
 		t.AddRow(v.name,
 			fmt.Sprintf("%.1f", stats.Mean(lat)),
@@ -77,26 +89,39 @@ func ContextSwitch(o Options) (*Table, error) {
 			"paper: prediction tables are flushed on context switches and refill quickly",
 		},
 	}
+	specs := o.qmm()
+	var jobs []simJob
+	for _, interval := range intervals {
+		interval := interval
+		label := fmt.Sprintf("cs=%d", interval)
+		for _, w := range specs {
+			jobs = append(jobs,
+				job(label+" baseline", w, func() sim.Config {
+					cfg := sim.DefaultConfig()
+					cfg.ContextSwitchInterval = interval
+					return cfg
+				}),
+				job(label+" Morrigan", w, func() sim.Config {
+					cfg := sim.DefaultConfig()
+					cfg.ContextSwitchInterval = interval
+					cfg.Prefetcher = core.New(core.DefaultConfig())
+					return cfg
+				}))
+		}
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, interval := range intervals {
 		var speedups, cov, mpki []float64
-		for _, w := range o.qmm() {
-			base := sim.DefaultConfig()
-			base.ContextSwitchInterval = interval
-			bst, err := o.run(base, w)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.ContextSwitchInterval = interval
-			cfg.Prefetcher = core.New(core.DefaultConfig())
-			mst, err := o.run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
+		for range specs {
+			bst, mst := sts[k], sts[k+1]
+			k += 2
 			speedups = append(speedups, stats.Speedup(uint64(bst.Cycles), uint64(mst.Cycles)))
 			cov = append(cov, stats.Percent(mst.PBHits, mst.ISTLBMisses))
 			mpki = append(mpki, bst.ISTLBMPKI)
-			o.progress("contextswitch %d %s", interval, w.Name)
 		}
 		label := "none"
 		if interval > 0 {
@@ -133,38 +158,45 @@ func HugePages(o Options) (*Table, error) {
 		{"2MB data, SMT colocation", true, true},
 	}
 	qmm := o.qmm()
+	var jobs []simJob
 	for _, m := range modes {
-		var imp, dmp, spd []float64
+		m := m
 		for i, w := range qmm {
-			mk := func(withMorrigan bool) sim.Config {
-				c := sim.DefaultConfig()
-				c.HugeDataPages = m.huge
-				if withMorrigan {
-					c.Prefetcher = core.New(core.DefaultConfig())
+			mk := func(withMorrigan bool) func() sim.Config {
+				return func() sim.Config {
+					c := sim.DefaultConfig()
+					c.HugeDataPages = m.huge
+					if withMorrigan {
+						c.Prefetcher = core.New(core.DefaultConfig())
+					}
+					return c
 				}
-				return c
 			}
-			var bst, mst sim.Stats
-			var err error
 			if m.smt {
 				other := qmm[(i+len(qmm)/2)%len(qmm)]
-				bst, err = o.runPair(mk(false), w, other)
-				if err == nil {
-					mst, err = o.runPair(mk(true), w, other)
-				}
+				jobs = append(jobs,
+					pairJob(m.name+" baseline", w, other, mk(false)),
+					pairJob(m.name+" Morrigan", w, other, mk(true)))
 			} else {
-				bst, err = o.run(mk(false), w)
-				if err == nil {
-					mst, err = o.run(mk(true), w)
-				}
+				jobs = append(jobs,
+					job(m.name+" baseline", w, mk(false)),
+					job(m.name+" Morrigan", w, mk(true)))
 			}
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for _, m := range modes {
+		var imp, dmp, spd []float64
+		for range qmm {
+			bst, mst := sts[k], sts[k+1]
+			k += 2
 			imp = append(imp, bst.ISTLBMPKI)
 			dmp = append(dmp, bst.DSTLBMPKI)
 			spd = append(spd, stats.Speedup(uint64(bst.Cycles), uint64(mst.Cycles)))
-			o.progress("hugepages %s %s", m.name, w.Name)
 		}
 		t.AddRow(m.name, f2(stats.Mean(imp)), f2(stats.Mean(dmp)), pct(stats.GeoMeanSpeedup(spd)))
 	}
@@ -192,25 +224,35 @@ func ICacheSelection(o Options) (*Table, error) {
 			"paper Section 3.5: FNL+MMA outperforms the other IPC-1 prefetchers once translation is considered",
 		},
 	}
+	specs := o.qmm()
+	var jobs []simJob
+	for _, p := range prefs {
+		mkPref := p.mk
+		for _, w := range specs {
+			jobs = append(jobs,
+				job(p.name+" baseline", w, baseline),
+				job(p.name, w, func() sim.Config {
+					cfg := sim.DefaultConfig()
+					cfg.ICachePrefetcher = mkPref()
+					cfg.ICacheTLBCost = true
+					return cfg
+				}))
+		}
+	}
+	sts, err := o.campaign(t.ID, jobs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
 	for _, p := range prefs {
 		var spd, mpki []float64
 		var xwalks uint64
-		for _, w := range o.qmm() {
-			base, err := o.run(sim.DefaultConfig(), w)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.ICachePrefetcher = p.mk()
-			cfg.ICacheTLBCost = true
-			st, err := o.run(cfg, w)
-			if err != nil {
-				return nil, err
-			}
+		for range specs {
+			base, st := sts[k], sts[k+1]
+			k += 2
 			spd = append(spd, stats.Speedup(uint64(base.Cycles), uint64(st.Cycles)))
 			mpki = append(mpki, st.L1IMPKI)
 			xwalks += st.ICacheXPageWalks
-			o.progress("icacheselect %s %s", p.name, w.Name)
 		}
 		t.AddRow(p.name, pct(stats.GeoMeanSpeedup(spd)), f2(stats.Mean(mpki)), fmt.Sprintf("%d", xwalks))
 	}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+
+	"morrigan/internal/sim"
+)
+
+// SchemaVersion identifies the campaign result schema. It is bumped whenever
+// the JSON/CSV shape changes incompatibly, so trajectory-tracking consumers
+// (e.g. BENCH_*.json) can detect mismatches instead of misreading fields.
+const SchemaVersion = 1
+
+// Record is one job's machine-readable result.
+type Record struct {
+	// Experiment, Config and Workload echo the job identity.
+	Experiment string `json:"experiment,omitempty"`
+	Config     string `json:"config,omitempty"`
+	Workload   string `json:"workload"`
+	// Warmup and Measure are the job's instruction counts.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// ElapsedMS is the job's wall-clock time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Error is the job's failure, if any; Stats is nil in that case.
+	Error string `json:"error,omitempty"`
+	// Stats is the full measurement snapshot.
+	Stats *sim.Stats `json:"stats,omitempty"`
+}
+
+// Campaign is the schema-versioned collection of job results.
+type Campaign struct {
+	// Schema is SchemaVersion at emission time.
+	Schema int `json:"schema"`
+	// Records lists job results in deterministic job order.
+	Records []Record `json:"records"`
+}
+
+// NewRecord converts one Result into its machine-readable form.
+func NewRecord(res Result) Record {
+	r := Record{
+		Experiment: res.Job.Experiment,
+		Config:     res.Job.Config,
+		Workload:   res.Job.Workload,
+		Warmup:     res.Job.Warmup,
+		Measure:    res.Job.Measure,
+		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if res.Err != nil {
+		r.Error = res.Err.Error()
+	} else {
+		st := res.Stats
+		r.Stats = &st
+	}
+	return r
+}
+
+// WriteJSON emits the campaign as indented JSON.
+func (c *Campaign) WriteJSON(w io.Writer) error {
+	c.Schema = SchemaVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteCSV emits the campaign as CSV: one header row (job identity columns
+// followed by every sim.Stats field, flattening fixed-size arrays), then one
+// row per record. Failed jobs leave the stat columns empty.
+func (c *Campaign) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{
+		"experiment", "config", "workload", "warmup", "measure", "elapsed_ms", "error",
+	}, statColumns()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range c.Records {
+		row := []string{
+			r.Experiment, r.Config, r.Workload,
+			fmt.Sprintf("%d", r.Warmup), fmt.Sprintf("%d", r.Measure),
+			fmt.Sprintf("%.3f", r.ElapsedMS), r.Error,
+		}
+		if r.Stats != nil {
+			row = append(row, statValues(*r.Stats)...)
+		} else {
+			row = append(row, make([]string, len(header)-len(row))...)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// statColumns derives the CSV stat column names from sim.Stats by reflection,
+// in struct order, flattening array fields as name_0, name_1, ...
+func statColumns() []string {
+	var cols []string
+	t := reflect.TypeOf(sim.Stats{})
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() == reflect.Array {
+			for j := 0; j < f.Type.Len(); j++ {
+				cols = append(cols, fmt.Sprintf("%s_%d", f.Name, j))
+			}
+			continue
+		}
+		cols = append(cols, f.Name)
+	}
+	return cols
+}
+
+// statValues renders one snapshot's fields in statColumns order.
+func statValues(st sim.Stats) []string {
+	var vals []string
+	v := reflect.ValueOf(st)
+	var render func(fv reflect.Value)
+	render = func(fv reflect.Value) {
+		switch fv.Kind() {
+		case reflect.Array:
+			for j := 0; j < fv.Len(); j++ {
+				render(fv.Index(j))
+			}
+		case reflect.Float64, reflect.Float32:
+			vals = append(vals, fmt.Sprintf("%g", fv.Float()))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			vals = append(vals, fmt.Sprintf("%d", fv.Uint()))
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			vals = append(vals, fmt.Sprintf("%d", fv.Int()))
+		default:
+			vals = append(vals, fmt.Sprint(fv.Interface()))
+		}
+	}
+	for i := 0; i < v.NumField(); i++ {
+		render(v.Field(i))
+	}
+	return vals
+}
+
+// Recorder is a thread-safe campaign collector. Batches of results are
+// appended in the order the caller presents them, so recording each
+// campaign's ordered results keeps the file deterministic.
+type Recorder struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends the results, preserving their order.
+func (r *Recorder) Add(results []Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, res := range results {
+		r.records = append(r.records, NewRecord(res))
+	}
+}
+
+// Len reports the number of recorded results.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.records)
+}
+
+// Campaign snapshots the recorded results.
+func (r *Recorder) Campaign() Campaign {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Campaign{Schema: SchemaVersion, Records: append([]Record(nil), r.records...)}
+}

@@ -1,0 +1,206 @@
+// Package runner is the simulation-campaign orchestrator: it takes a set of
+// independent simulation jobs (workload × sim.Config × warmup/measure),
+// schedules them over a bounded worker pool, and returns results in
+// deterministic job order, so campaign output is byte-identical regardless of
+// how many workers ran it.
+//
+// The orchestrator provides the campaign-level machinery the experiment
+// harness needs but individual simulations do not know about:
+//
+//   - fan-out over a worker pool sized by Options.Workers (default
+//     GOMAXPROCS), with results merged back in submission order;
+//   - per-job panic isolation — a crashing simulation fails that job with a
+//     captured stack trace instead of tearing down the whole campaign;
+//   - context.Context cancellation and optional per-job timeouts, checked
+//     inside the simulator's instruction loop;
+//   - live progress and ETA reporting through a ProgressFunc;
+//   - a typed, schema-versioned result model with JSON and CSV emitters
+//     (results.go) suitable for benchmark trajectory tracking.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"morrigan/internal/sim"
+)
+
+// Job is one independent simulation in a campaign. The NewConfig and
+// NewThreads factories are invoked on the worker goroutine that executes the
+// job, so every piece of mutable simulation state (prefetcher tables, trace
+// generators, RNGs) is constructed and used by exactly one goroutine.
+type Job struct {
+	// Experiment, Config and Workload identify the job in results
+	// (e.g. "fig15", "Morrigan", "qmm-srv-07"). Config may be empty for
+	// baseline runs.
+	Experiment, Config, Workload string
+
+	// NewConfig builds the machine configuration, including any stateful
+	// prefetcher instances. It must not return state shared with another job.
+	NewConfig func() sim.Config
+	// NewThreads builds the instruction streams (1 thread, or 2 for SMT).
+	NewThreads func() []sim.ThreadSpec
+
+	// Warmup and Measure are instruction counts for sim.Run.
+	Warmup, Measure uint64
+}
+
+// Name returns the job's "experiment/config/workload" display label, eliding
+// empty parts.
+func (j Job) Name() string {
+	parts := make([]string, 0, 3)
+	for _, p := range []string{j.Experiment, j.Config, j.Workload} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Job echoes the job this result belongs to.
+	Job Job
+	// Stats is the measurement snapshot; zero when Err is non-nil.
+	Stats sim.Stats
+	// Err reports a failed, panicked, cancelled or timed-out job.
+	Err error
+	// Elapsed is the job's wall-clock execution time (zero if never started).
+	Elapsed time.Duration
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers bounds the number of simulations in flight; 0 or negative
+	// means GOMAXPROCS. 1 reproduces serial execution exactly.
+	Workers int
+	// Timeout, when positive, bounds each job's execution time.
+	Timeout time.Duration
+	// Progress, when non-nil, is called after every job completes (from a
+	// single goroutine at a time; it need not be re-entrant).
+	Progress ProgressFunc
+}
+
+// workers resolves the pool width for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes the campaign and returns one Result per job, in job order.
+// Jobs are independent: a failing (or panicking) job does not stop the
+// others, and its Result carries the error. The returned error is the
+// lowest-indexed job error, if any — deterministic regardless of completion
+// order — or the context's error when the campaign was cancelled. A nil ctx
+// means context.Background().
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+
+	var (
+		mu      sync.Mutex // guards next and the progress tracker
+		next    int
+		claimed = make([]bool, len(jobs))
+		prog    = newProgressTracker(len(jobs), opt.Progress)
+		wg      sync.WaitGroup
+	)
+	for w := opt.workers(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				claimed[i] = true
+				results[i] = execute(ctx, jobs[i], opt.Timeout)
+				mu.Lock()
+				prog.done(results[i])
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Jobs never claimed (campaign cancelled first) carry the context error.
+	for i := range results {
+		if !claimed[i] {
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			results[i] = Result{Job: jobs[i], Err: fmt.Errorf("runner: %s: %w", jobs[i].Name(), err)}
+		}
+	}
+	return results, firstError(ctx, results)
+}
+
+// firstError picks the campaign-level error: the context's error if
+// cancelled, else the lowest-indexed job error.
+func firstError(ctx context.Context, results []Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// execute runs one job with panic isolation and the per-job timeout.
+func execute(ctx context.Context, j Job, timeout time.Duration) (res Result) {
+	res.Job = j
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		return res
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("runner: %s: panic: %v\n%s", j.Name(), r, debug.Stack())
+		}
+	}()
+	s, err := sim.New(j.NewConfig(), j.NewThreads())
+	if err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		return res
+	}
+	st, err := s.RunContext(ctx, j.Warmup, j.Measure)
+	if err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		return res
+	}
+	res.Stats = st
+	return res
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -162,13 +163,25 @@ func (s *Simulator) now() arch.Cycle { return s.core.Cycles() }
 // measure instructions and returns the snapshot, mirroring the paper's
 // 50M-warmup/100M-measure methodology at whatever scale the caller picks.
 func (s *Simulator) Run(warmup, measure uint64) (Stats, error) {
+	return s.RunContext(context.Background(), warmup, measure)
+}
+
+// cancelCheckInterval is how many instructions execute between context
+// checks in RunContext — frequent enough that cancellation and per-job
+// timeouts bite within milliseconds, rare enough to cost nothing.
+const cancelCheckInterval = 1 << 16
+
+// RunContext is Run with cancellation: ctx is polled every
+// cancelCheckInterval instructions, so campaign-level cancellation and
+// per-job timeouts take effect mid-simulation instead of only between runs.
+func (s *Simulator) RunContext(ctx context.Context, warmup, measure uint64) (Stats, error) {
 	if warmup > 0 {
-		if err := s.run(warmup); err != nil {
+		if err := s.run(ctx, warmup); err != nil {
 			return Stats{}, err
 		}
 	}
 	s.resetStats()
-	if err := s.run(measure); err != nil {
+	if err := s.run(ctx, measure); err != nil {
 		return Stats{}, err
 	}
 	return s.Snapshot(), nil
@@ -176,11 +189,18 @@ func (s *Simulator) Run(warmup, measure uint64) (Stats, error) {
 
 // run executes n instructions, interleaving threads in SMTBlock-sized
 // groups. It stops early (without error) when every thread's trace ends.
-func (s *Simulator) run(n uint64) error {
+func (s *Simulator) run(ctx context.Context, n uint64) error {
 	var rec trace.Record
 	executed := uint64(0)
+	nextCheck := uint64(cancelCheckInterval)
 	ti := 0
 	for executed < n {
+		if executed >= nextCheck {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run interrupted: %w", err)
+			}
+			nextCheck += cancelCheckInterval
+		}
 		th := s.threads[ti]
 		if th.done {
 			ti = (ti + 1) % len(s.threads)

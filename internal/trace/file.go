@@ -123,6 +123,9 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	if string(head[:len(fileMagic)]) != fileMagic {
 		return nil, fmt.Errorf("trace: bad magic %q: %w", head[:len(fileMagic)], ErrCorrupt)
 	}
+	if flags := head[len(fileMagic)]; flags != 0 {
+		return nil, fmt.Errorf("trace: unsupported header flags %#x: %w", flags, ErrCorrupt)
+	}
 	return &FileReader{r: br}, nil
 }
 

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"morrigan/internal/arch"
+)
+
+// encodeTrace serialises recs with NewWriter and returns the raw bytes.
+func encodeTrace(t *testing.T, recs []Record, compress bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFileReaderBadMagic(t *testing.T) {
+	cases := [][]byte{
+		[]byte("NOPE\x00"),
+		[]byte("MGT2\x00"), // wrong version digit
+		[]byte("MGT"),      // shorter than the magic itself
+	}
+	for _, c := range cases {
+		_, err := NewFileReader(bytes.NewReader(c))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("header %q: err = %v, want ErrCorrupt", c, err)
+		}
+	}
+}
+
+func TestFileReaderBadFlags(t *testing.T) {
+	_, err := NewFileReader(bytes.NewReader([]byte(fileMagic + "\x01")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nonzero header flags: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileReaderTruncated(t *testing.T) {
+	recs := []Record{
+		{PC: 0x1000},
+		{PC: 0x1004, Load: 0x2000},
+		{PC: 0x1008, Store: 0x123456789}, // multi-byte store varint
+	}
+	raw := encodeTrace(t, recs, false)
+
+	// A truncated header must fail construction; any longer prefix must
+	// yield ErrCorrupt (or a clean EOF exactly on a record boundary) from
+	// Next, never a wrong record or a hang.
+	for cut := 0; cut < len(raw); cut++ {
+		r, err := NewFileReader(bytes.NewReader(raw[:cut]))
+		if cut < len(fileMagic)+1 {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d: header err = %v, want ErrCorrupt", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut=%d: NewFileReader: %v", cut, err)
+		}
+		var rec Record
+		for i := 0; ; i++ {
+			err := r.Next(&rec)
+			if err == nil {
+				if i >= len(recs) || rec != recs[i] {
+					t.Fatalf("cut=%d: record %d = %+v", cut, i, rec)
+				}
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d: err = %v, want EOF or ErrCorrupt", cut, err)
+			}
+			break
+		}
+	}
+}
+
+func TestFileReaderAfterEOF(t *testing.T) {
+	raw := encodeTrace(t, []Record{{PC: 0x40_0000}}, false)
+	r, err := NewFileReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := r.Next(&rec); err != nil || rec.PC != 0x40_0000 {
+		t.Fatalf("Next = %+v, %v", rec, err)
+	}
+	// The reader must keep reporting io.EOF on every call past the end,
+	// without mutating the output record.
+	for i := 0; i < 3; i++ {
+		saved := rec
+		if err := r.Next(&rec); err != io.EOF {
+			t.Fatalf("Next after EOF (call %d) = %v, want io.EOF", i, err)
+		}
+		if rec != saved {
+			t.Fatalf("Next after EOF mutated record: %+v", rec)
+		}
+	}
+}
+
+func TestFileReaderBadRecordKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.WriteByte(0)
+	buf.WriteByte(recKindMax + 1)
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := r.Next(&rec); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad record kind: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileReaderTruncatedGzip(t *testing.T) {
+	recs := []Record{{PC: 0x1000, Load: arch.VAddr(1) << 40}}
+	raw := encodeTrace(t, recs, true)
+	// Cut inside the gzip body (past its 2-byte magic): either construction
+	// or the first read must fail, but never succeed silently.
+	r, err := NewFileReader(bytes.NewReader(raw[:len(raw)/2]))
+	if err != nil {
+		return
+	}
+	var rec Record
+	for {
+		if err := r.Next(&rec); err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated gzip stream read to clean EOF")
+			}
+			return
+		}
+	}
+}
