@@ -35,6 +35,7 @@ func main() {
 		out     = flag.String("out", "", "write results to a file instead of stdout")
 		jsonOut = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
 		csvOut  = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
+		telem   = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
 		verbose = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -72,6 +73,9 @@ func main() {
 	if *jsonOut != "" || *csvOut != "" {
 		rec = &morrigan.CampaignRecorder{}
 		opt.Record = rec
+	}
+	if *telem != "" {
+		opt.Telemetry = &morrigan.CampaignTelemetry{Dir: *telem}
 	}
 
 	var w io.Writer = os.Stdout

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -41,6 +42,10 @@ func main() {
 		measure   = flag.Uint64("measure", 5_000_000, "measured instructions")
 		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut   = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		csvOut    = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
+		telemOut  = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
+		interval  = flag.Uint64("interval", 0, "telemetry sampling interval in instructions (0 = default 100000)")
+		events    = flag.Int("events", 0, "telemetry event-ring capacity (0 = default 4096, negative disables the event trace)")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
@@ -120,6 +125,12 @@ func main() {
 	if *verbose {
 		opt.Progress = morrigan.CampaignWriterProgress(os.Stderr)
 	}
+	if *telemOut != "" {
+		opt.Telemetry = &morrigan.CampaignTelemetry{
+			Dir:    *telemOut,
+			Config: morrigan.TelemetryConfig{Interval: *interval, EventBuffer: *events},
+		}
+	}
 	results, err := morrigan.RunCampaign(ctx, cjobs, opt)
 
 	for i, res := range results {
@@ -131,27 +142,38 @@ func main() {
 			fmt.Println()
 		}
 		printStats(res.Job.Workload, *pf, res.Stats)
-	}
-	if *jsonOut != "" {
-		c := morrigan.Campaign{Schema: morrigan.CampaignSchemaVersion}
-		for _, res := range results {
-			c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
-		}
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, ferr := os.Create(*jsonOut)
-			if ferr != nil {
-				fatal("%v", ferr)
-			}
-			defer f.Close()
-			w = f
-		}
-		if jerr := c.WriteJSON(w); jerr != nil {
-			fatal("%v", jerr)
+		if res.TelemetryPath != "" {
+			fmt.Printf("telemetry       %s\n", res.TelemetryPath)
 		}
 	}
+	writeCampaign(*jsonOut, results, (*morrigan.Campaign).WriteJSON)
+	writeCampaign(*csvOut, results, (*morrigan.Campaign).WriteCSV)
 	if err != nil {
 		os.Exit(1)
+	}
+}
+
+// writeCampaign emits the campaign's machine-readable results to path ('-'
+// for stdout) using the given emitter; an empty path is a no-op.
+func writeCampaign(path string, results []morrigan.CampaignResult, emit func(*morrigan.Campaign, io.Writer) error) {
+	if path == "" {
+		return
+	}
+	c := morrigan.Campaign{Schema: morrigan.CampaignSchemaVersion}
+	for _, res := range results {
+		c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := emit(&c, w); err != nil {
+		fatal("%v", err)
 	}
 }
 

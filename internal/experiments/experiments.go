@@ -51,6 +51,10 @@ type Options struct {
 	// Record, when non-nil, collects every simulation result for
 	// machine-readable JSON/CSV emission (see internal/runner).
 	Record *runner.Recorder
+	// Telemetry, when non-nil, attaches a telemetry probe to every
+	// simulation and writes one JSONL file per job into Telemetry.Dir
+	// (see internal/telemetry). Rendered tables are unaffected.
+	Telemetry *runner.TelemetryOptions
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -140,8 +144,9 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		}
 	}
 	results, err := runner.Run(o.Context, rjobs, runner.Options{
-		Workers:  o.Jobs,
-		Progress: runner.WriterProgress(o.Progress),
+		Workers:   o.Jobs,
+		Progress:  runner.WriterProgress(o.Progress),
+		Telemetry: o.Telemetry,
 	})
 	if o.Record != nil {
 		o.Record.Add(results)

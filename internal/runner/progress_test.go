@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriterProgressNilWriter(t *testing.T) {
+	if fn := WriterProgress(nil); fn != nil {
+		t.Fatal("nil writer should disable progress")
+	}
+}
+
+func TestWriterProgressLineFormat(t *testing.T) {
+	var sb strings.Builder
+	fn := WriterProgress(&sb)
+	fn(Event{
+		Done: 3, Total: 45,
+		Job:     Job{Experiment: "fig15", Config: "Morrigan", Workload: "qmm-srv-07"},
+		Elapsed: 1200 * time.Millisecond,
+		ETA:     18 * time.Second,
+	})
+	got := sb.String()
+	want := "[ 3/45] fig15/Morrigan/qmm-srv-07 ok (1.2s, eta 18s)\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestWriterProgressFailedAndNoETA(t *testing.T) {
+	var sb strings.Builder
+	fn := WriterProgress(&sb)
+	fn(Event{
+		Done: 1, Total: 2,
+		Job:     Job{Workload: "qmm-srv-01"},
+		Err:     errors.New("boom"),
+		Elapsed: 500 * time.Millisecond,
+	})
+	got := sb.String()
+	if !strings.Contains(got, "FAILED") {
+		t.Fatalf("failed job not marked: %q", got)
+	}
+	if strings.Contains(got, "eta") {
+		t.Fatalf("zero ETA should be omitted: %q", got)
+	}
+	if !strings.HasPrefix(got, "[1/2] ") {
+		t.Fatalf("counter misaligned: %q", got)
+	}
+}
+
+func TestNumWidth(t *testing.T) {
+	for _, c := range []struct{ n, w int }{
+		{0, 1}, {9, 1}, {10, 2}, {45, 2}, {99, 2}, {100, 3}, {12345, 5},
+	} {
+		if got := numWidth(c.n); got != c.w {
+			t.Errorf("numWidth(%d) = %d, want %d", c.n, got, c.w)
+		}
+	}
+}
+
+// TestProgressTrackerETA: the tracker estimates remaining time from the
+// observed completion rate and emits zero ETA once everything is done.
+func TestProgressTrackerETA(t *testing.T) {
+	var events []Event
+	p := newProgressTracker(4, func(e Event) { events = append(events, e) })
+	// Pretend the campaign started 8 seconds ago: after 2 of 4 jobs the
+	// completed-throughput estimate is 8s/2*2 = 8s remaining.
+	p.started = time.Now().Add(-8 * time.Second)
+
+	p.done(Result{Job: Job{Workload: "a"}})
+	p.done(Result{Job: Job{Workload: "b"}})
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[1]
+	if e.Done != 2 || e.Total != 4 {
+		t.Fatalf("counter %d/%d", e.Done, e.Total)
+	}
+	if e.ETA < 7*time.Second || e.ETA > 9*time.Second {
+		t.Fatalf("ETA = %v, want ~8s", e.ETA)
+	}
+	if e.Campaign < 8*time.Second {
+		t.Fatalf("campaign elapsed = %v", e.Campaign)
+	}
+
+	p.done(Result{Job: Job{Workload: "c"}})
+	p.done(Result{Job: Job{Workload: "d"}})
+	if last := events[len(events)-1]; last.ETA != 0 {
+		t.Fatalf("final ETA = %v, want 0", last.ETA)
+	}
+}
+
+// TestProgressTrackerNilFunc: counting still works with no callback.
+func TestProgressTrackerNilFunc(t *testing.T) {
+	p := newProgressTracker(2, nil)
+	p.done(Result{})
+	p.done(Result{})
+	if p.completed != 2 {
+		t.Fatalf("completed = %d", p.completed)
+	}
+}

@@ -29,6 +29,10 @@ type Record struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Error is the job's failure, if any; Stats is nil in that case.
 	Error string `json:"error,omitempty"`
+	// Telemetry is the job's JSONL telemetry file, when collection was on.
+	// (JSON only — the CSV column set is unchanged so existing consumers
+	// and diffs are unaffected.)
+	Telemetry string `json:"telemetry,omitempty"`
 	// Stats is the full measurement snapshot.
 	Stats *sim.Stats `json:"stats,omitempty"`
 }
@@ -50,6 +54,7 @@ func NewRecord(res Result) Record {
 		Warmup:     res.Job.Warmup,
 		Measure:    res.Job.Measure,
 		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
+		Telemetry:  res.TelemetryPath,
 	}
 	if res.Err != nil {
 		r.Error = res.Err.Error()

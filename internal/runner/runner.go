@@ -21,6 +21,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"morrigan/internal/sim"
+	"morrigan/internal/telemetry"
 )
 
 // Job is one independent simulation in a campaign. The NewConfig and
@@ -72,6 +74,9 @@ type Result struct {
 	Err error
 	// Elapsed is the job's wall-clock execution time (zero if never started).
 	Elapsed time.Duration
+	// TelemetryPath is the job's JSONL telemetry file, when
+	// Options.Telemetry was set and the job ran.
+	TelemetryPath string
 }
 
 // Options configures a campaign run.
@@ -84,6 +89,9 @@ type Options struct {
 	// Progress, when non-nil, is called after every job completes (from a
 	// single goroutine at a time; it need not be re-entrant).
 	Progress ProgressFunc
+	// Telemetry, when non-nil, attaches a telemetry probe to every job and
+	// writes one JSONL file per job into Telemetry.Dir.
+	Telemetry *TelemetryOptions
 }
 
 // workers resolves the pool width for n jobs.
@@ -115,6 +123,11 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	if len(jobs) == 0 {
 		return results, ctx.Err()
 	}
+	if opt.Telemetry != nil {
+		if err := os.MkdirAll(opt.Telemetry.Dir, 0o755); err != nil {
+			return results, fmt.Errorf("runner: telemetry dir: %w", err)
+		}
+	}
 
 	var (
 		mu      sync.Mutex // guards next and the progress tracker
@@ -136,7 +149,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 					return
 				}
 				claimed[i] = true
-				results[i] = execute(ctx, jobs[i], opt.Timeout)
+				results[i] = execute(ctx, i, jobs[i], opt)
 				mu.Lock()
 				prog.done(results[i])
 				mu.Unlock()
@@ -172,26 +185,42 @@ func firstError(ctx context.Context, results []Result) error {
 	return nil
 }
 
-// execute runs one job with panic isolation and the per-job timeout.
-func execute(ctx context.Context, j Job, timeout time.Duration) (res Result) {
+// execute runs job i with panic isolation, the per-job timeout, and an
+// optional per-job telemetry probe flushed to its own JSONL file.
+func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 	res.Job = j
 	if err := ctx.Err(); err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res
 	}
-	if timeout > 0 {
+	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
 	start := time.Now()
+	var probe *telemetry.Probe
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("runner: %s: panic: %v\n%s", j.Name(), r, debug.Stack())
 		}
+		if probe != nil {
+			// Flush whatever was collected — partial telemetry from a
+			// failed or cancelled job is still diagnostic data.
+			path, werr := opt.Telemetry.writeTelemetry(i, j, probe)
+			if werr != nil && res.Err == nil {
+				res.Err = werr
+			}
+			res.TelemetryPath = path
+		}
 	}()
-	s, err := sim.New(j.NewConfig(), j.NewThreads())
+	cfg := j.NewConfig()
+	if opt.Telemetry != nil {
+		probe = telemetry.NewProbe(opt.Telemetry.Config)
+		cfg.Probe = probe
+	}
+	s, err := sim.New(cfg, j.NewThreads())
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"morrigan/internal/telemetry"
+)
+
+// TelemetryOptions attaches per-job telemetry collection to a campaign: each
+// job gets its own probe (interval time-series, event trace, histograms; see
+// internal/telemetry) and writes one JSONL file into Dir next to the
+// campaign's JSON/CSV results.
+type TelemetryOptions struct {
+	// Config parameterises every job's probe; the zero value means the
+	// telemetry defaults (100k-instruction interval, 4096-event ring).
+	Config telemetry.Config
+	// Dir receives one "<index>-<job name>.jsonl" file per job. It is
+	// created (with parents) if missing.
+	Dir string
+}
+
+// telemetryPath names job i's output file. The zero-padded campaign index
+// keeps names unique and listable in job order even when jobs share a name.
+func (t *TelemetryOptions) telemetryPath(i int, j Job) string {
+	return filepath.Join(t.Dir, fmt.Sprintf("%03d-%s.jsonl", i, sanitizeName(j.Name())))
+}
+
+// sanitizeName maps a job's "experiment/config/workload" display name to a
+// filesystem-safe file stem.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '.' || r == '_' || r == '+':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// writeTelemetry flushes one job's probe to its JSONL file and returns the
+// path. Partial collections (failed or cancelled jobs) are written too —
+// they are exactly the diagnostics a failed job needs.
+func (t *TelemetryOptions) writeTelemetry(i int, j Job, probe *telemetry.Probe) (string, error) {
+	path := t.telemetryPath(i, j)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("runner: %s: telemetry: %w", j.Name(), err)
+	}
+	werr := probe.WriteJSONL(f)
+	cerr := f.Close()
+	if werr != nil {
+		return "", fmt.Errorf("runner: %s: telemetry: %w", j.Name(), werr)
+	}
+	if cerr != nil {
+		return "", fmt.Errorf("runner: %s: telemetry: %w", j.Name(), cerr)
+	}
+	return path, nil
+}

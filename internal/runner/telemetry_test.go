@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"morrigan/internal/telemetry"
+)
+
+// TestCampaignTelemetryFiles: a campaign with telemetry attached writes one
+// parseable JSONL file per job, records the path in Result and Record, and
+// leaves simulation statistics bit-identical to a run without telemetry.
+func TestCampaignTelemetryFiles(t *testing.T) {
+	jobs := testJobs(4)
+	dir := t.TempDir()
+	plain, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), jobs, Options{
+		Workers: 2,
+		Telemetry: &TelemetryOptions{
+			Dir:    dir,
+			Config: telemetry.Config{Interval: 5_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, res := range results {
+		if res.TelemetryPath == "" {
+			t.Fatalf("job %d: no telemetry path", i)
+		}
+		f, err := os.Open(res.TelemetryPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines, perr := telemetry.ParseJSONL(f)
+		f.Close()
+		if perr != nil {
+			t.Fatalf("job %d: %v", i, perr)
+		}
+		samples := 0
+		for _, l := range lines {
+			if l["kind"] == telemetry.KindSample {
+				samples++
+			}
+		}
+		if samples < 4 { // 20k measured instructions at 5k interval
+			t.Fatalf("job %d: %d samples", i, samples)
+		}
+		if res.Stats != plain[i].Stats {
+			t.Fatalf("job %d: stats diverge under telemetry", i)
+		}
+		if rec := NewRecord(res); rec.Telemetry != res.TelemetryPath {
+			t.Fatalf("job %d: record telemetry %q", i, rec.Telemetry)
+		}
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(jobs) {
+		t.Fatalf("%d telemetry files for %d jobs", len(ents), len(jobs))
+	}
+}
+
+// TestTelemetryPathNaming: file names are job-ordered, sanitized, and
+// collision-free even for identically named jobs.
+func TestTelemetryPathNaming(t *testing.T) {
+	topt := &TelemetryOptions{Dir: "out"}
+	j := Job{Experiment: "fig15", Config: "Morrigan 2x", Workload: "qmm/srv:07"}
+	got := topt.telemetryPath(3, j)
+	want := filepath.Join("out", "003-fig15_Morrigan_2x_qmm_srv_07.jsonl")
+	if got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+	if a, b := topt.telemetryPath(0, j), topt.telemetryPath(1, j); a == b {
+		t.Fatal("same-name jobs collide")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"morrigan/internal/cpu"
 	"morrigan/internal/icache"
 	"morrigan/internal/ptw"
+	"morrigan/internal/telemetry"
 	"morrigan/internal/tlb"
 	"morrigan/internal/tlbprefetch"
 	"morrigan/internal/trace"
@@ -128,6 +129,13 @@ type Config struct {
 	// OnISTLBMiss, when set, observes the instruction STLB miss stream
 	// (used by the Section 3.3 characterisation figures).
 	OnISTLBMiss func(tid arch.ThreadID, vpn arch.VPN)
+
+	// Probe, when non-nil, attaches the telemetry observability layer:
+	// interval time-series samples, a prefetch-lifecycle/page-walk event
+	// trace and latency histograms (see internal/telemetry). Probes observe
+	// only — a run with a probe produces bit-identical Stats to one without.
+	// A probe belongs to exactly one simulator.
+	Probe *telemetry.Probe
 }
 
 // DefaultConfig mirrors Table 1: 128-entry 8-way I-TLB, 64-entry 4-way

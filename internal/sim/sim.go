@@ -11,6 +11,7 @@ import (
 	"morrigan/internal/icache"
 	"morrigan/internal/pagetable"
 	"morrigan/internal/ptw"
+	"morrigan/internal/telemetry"
 	"morrigan/internal/tlb"
 	"morrigan/internal/tlbprefetch"
 	"morrigan/internal/trace"
@@ -57,6 +58,12 @@ type Simulator struct {
 
 	// nextSwitch is the instruction count of the next context switch.
 	nextSwitch uint64
+
+	// probe is the optional telemetry collector; nil (the default) keeps
+	// every hook on the hot path a single predictable branch. probeNext is
+	// the retired-instruction count of the next time-series sample.
+	probe     *telemetry.Probe
+	probeNext uint64
 
 	c counters
 }
@@ -144,6 +151,12 @@ func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 		}
 	}
 	s.nextSwitch = cfg.ContextSwitchInterval
+	if cfg.Probe != nil {
+		s.probe = cfg.Probe
+		s.probeNext = s.probe.Interval()
+		s.walker.SetProbe(s.probe)
+		s.pb.SetProbe(s.probe)
+	}
 	if cfg.CorrectingWalks {
 		s.pb.SetEvictionHandler(func(tid arch.ThreadID, vpn arch.VPN) {
 			if s.walker.CorrectAccessed(tid, vpn, s.now()) {
@@ -183,6 +196,11 @@ func (s *Simulator) RunContext(ctx context.Context, warmup, measure uint64) (Sta
 	s.resetStats()
 	if err := s.run(ctx, measure); err != nil {
 		return Stats{}, err
+	}
+	if s.probe != nil {
+		// Close the trailing partial interval so the emitted time series
+		// sums exactly to the aggregate snapshot.
+		s.probe.Finish(s.telemetrySample())
 	}
 	return s.Snapshot(), nil
 }
@@ -253,6 +271,10 @@ func (s *Simulator) step(tid arch.ThreadID, th *thread, rec *trace.Record) {
 	if rec.Store != 0 {
 		s.data(tid, rec.Store+th.off, true)
 	}
+	if s.probe != nil && s.core.Retired() >= s.probeNext {
+		s.probe.RecordSample(s.telemetrySample())
+		s.probeNext += s.probe.Interval()
+	}
 }
 
 // fetch performs the front-end work for a new instruction line: address
@@ -318,6 +340,10 @@ func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VP
 			pbHit = true
 			pfn = hit
 			s.c.pbHits++
+			if s.probe != nil {
+				now := s.now()
+				s.probe.PrefetchUsed(tid, vpn, now, ready > now)
+			}
 			if now := s.now(); ready > now {
 				// Late prefetch: wait for the in-flight walk's remainder.
 				s.c.pbLateCycles += ready - now
@@ -355,13 +381,22 @@ func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VP
 func (s *Simulator) issuePrefetches(tid arch.ThreadID, at arch.Cycle, reqs []tlbprefetch.Request) {
 	for _, r := range reqs {
 		s.c.prefIssued++
+		if s.probe != nil {
+			s.probe.PrefetchIssued(tid, r.VPN, at)
+		}
 		if s.cfg.PrefetchIntoSTLB {
 			if s.stlb.Contains(tid, r.VPN) {
 				s.c.prefDiscarded++
+				if s.probe != nil {
+					s.probe.PrefetchDiscarded(tid, r.VPN, at)
+				}
 				continue
 			}
 		} else if s.pb.Contains(tid, r.VPN) {
 			s.c.prefDiscarded++
+			if s.probe != nil {
+				s.probe.PrefetchDiscarded(tid, r.VPN, at)
+			}
 			continue
 		}
 		walk := s.walker.Walk(tid, r.VPN, at, false)
@@ -373,13 +408,13 @@ func (s *Simulator) issuePrefetches(tid arch.ThreadID, at arch.Cycle, reqs []tlb
 			continue // non-faulting prefetch to an unmapped page
 		}
 		ready := at + walk.Latency
-		s.installPrefetch(tid, r.VPN, walk.PFN, r.Token, ready)
+		s.installPrefetch(tid, r.VPN, walk.PFN, r.Token, at, ready)
 		if r.Spatial {
 			// The leaf line just fetched carries up to 7 neighbouring
 			// PTEs; install them for free (steps 14/17 of Figure 12).
 			for _, v := range walk.FreeVPNs {
 				if pte, ok := s.pt.Lookup(v); ok {
-					s.installPrefetch(tid, v, pte.PFN, r.Token, ready)
+					s.installPrefetch(tid, v, pte.PFN, r.Token, at, ready)
 					s.c.prefFreePTEs++
 				}
 			}
@@ -388,14 +423,21 @@ func (s *Simulator) issuePrefetches(tid arch.ThreadID, at arch.Cycle, reqs []tlb
 }
 
 // installPrefetch places a prefetched translation in the PB, or directly in
-// the STLB under the P2TLB configuration.
-func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, ready arch.Cycle) {
+// the STLB under the P2TLB configuration. at is the cycle the producing
+// request was issued; ready is when its page walk completes.
+func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, at, ready arch.Cycle) {
 	if s.cfg.PrefetchIntoSTLB {
 		s.stlb.Insert(tid, vpn, pfn)
+		if s.probe != nil {
+			s.probe.PrefetchInstalled(tid, vpn, at, ready)
+		}
 		return
 	}
 	if !s.pb.Contains(tid, vpn) {
 		s.pb.Insert(tid, vpn, pfn, token, ready)
+		if s.probe != nil {
+			s.probe.PrefetchInstalled(tid, vpn, at, ready)
+		}
 	}
 }
 
@@ -446,7 +488,7 @@ func (s *Simulator) prefetchInstrLine(tid arch.ThreadID, th *thread, vline uint6
 		if !walk.Present {
 			return
 		}
-		s.installPrefetch(tid, vpn, walk.PFN, icacheToken{}, s.now()+walk.Latency)
+		s.installPrefetch(tid, vpn, walk.PFN, icacheToken{}, s.now(), s.now()+walk.Latency)
 		pfn = walk.PFN
 		extra = walk.Latency
 	}
@@ -557,10 +599,38 @@ func (s *Simulator) resetStats() {
 	s.c = counters{}
 	// The retired-instruction clock restarts with the measurement interval.
 	s.nextSwitch = s.cfg.ContextSwitchInterval
+	if s.probe != nil {
+		s.probe.Reset()
+		s.probeNext = s.probe.Interval()
+	}
 	if m, ok := s.pf.(interface{ ResetStats() }); ok {
 		m.ResetStats()
 	}
 }
+
+// telemetrySample snapshots the cumulative counters the telemetry probe
+// differences into interval samples. It reads the same sources as Snapshot,
+// so the probe's per-interval deltas sum exactly to the aggregate Stats.
+func (s *Simulator) telemetrySample() telemetry.Sample {
+	return telemetry.Sample{
+		Instructions:  s.core.Retired(),
+		Cycles:        s.core.Cycles(),
+		L1IMisses:     s.mem.L1I.Misses(),
+		ITLBMisses:    s.itlb.Misses(),
+		ISTLBAccesses: s.c.istlbAccesses,
+		ISTLBMisses:   s.c.istlbMisses,
+		PBHits:        s.c.pbHits,
+		PrefIssued:    s.c.prefIssued,
+		PrefDiscarded: s.c.prefDiscarded,
+		PrefWalks:     s.walker.PrefetchWalks(),
+		DemandIWalks:  s.c.demandIWalks,
+		DemandDWalks:  s.c.demandDWalks,
+		DroppedWalks:  s.walker.DroppedWalks(),
+	}
+}
+
+// Probe exposes the attached telemetry probe (nil when telemetry is off).
+func (s *Simulator) Probe() *telemetry.Probe { return s.probe }
 
 // Walker exposes the page walker (tests and experiments read its PSC).
 func (s *Simulator) Walker() *ptw.Walker { return s.walker }

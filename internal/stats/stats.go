@@ -43,13 +43,20 @@ func Coverage(baseMisses, misses uint64) float64 {
 // GeoMeanSpeedup returns the geometric mean of per-workload speedups given in
 // percent (e.g. 7.6 means +7.6%). It averages the speedup ratios, not the
 // percentages, matching how architecture papers report "geomean speedup".
+// An entry at or below -100% (a non-positive ratio, only possible from
+// degenerate measurements) clamps the whole mean to -100% rather than
+// propagating NaN through the table.
 func GeoMeanSpeedup(pcts []float64) float64 {
 	if len(pcts) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, p := range pcts {
-		sum += math.Log(1 + p/100)
+		r := 1 + p/100
+		if r <= 0 {
+			return -100
+		}
+		sum += math.Log(r)
 	}
 	return (math.Exp(sum/float64(len(pcts))) - 1) * 100
 }

@@ -55,6 +55,29 @@ func TestGeoMeanSpeedup(t *testing.T) {
 	}
 }
 
+// TestGeoMeanSpeedupDegenerate: an entry at or below -100% used to feed
+// log(0) or log(negative) into the mean and turn the whole result into NaN;
+// it must instead clamp to -100% and stay finite.
+func TestGeoMeanSpeedupDegenerate(t *testing.T) {
+	for _, pcts := range [][]float64{
+		{-100},
+		{-100, 10, 20},
+		{-150, 5},
+	} {
+		got := GeoMeanSpeedup(pcts)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("GeoMeanSpeedup(%v) = %v, want finite", pcts, got)
+		}
+		if !almost(got, -100) {
+			t.Errorf("GeoMeanSpeedup(%v) = %v, want -100", pcts, got)
+		}
+	}
+	// Entries just above -100% still go through the real geomean.
+	if got := GeoMeanSpeedup([]float64{-99.9}); !almost(got, -99.9) {
+		t.Errorf("GeoMeanSpeedup([-99.9]) = %v, want -99.9", got)
+	}
+}
+
 func TestGeoMeanBetweenMinMax(t *testing.T) {
 	f := func(a, b, c uint8) bool {
 		xs := []float64{float64(a) / 4, float64(b) / 4, float64(c) / 4}

@@ -1,0 +1,117 @@
+package telemetry
+
+import "morrigan/internal/arch"
+
+// EventKind classifies one trace event.
+type EventKind uint8
+
+// Event kinds: the prefetch lifecycle (issue → install → use/evict, with the
+// discard and late variants) and page walks.
+const (
+	// EvPrefetchIssued: the prefetcher produced a request.
+	EvPrefetchIssued EventKind = iota
+	// EvPrefetchDiscarded: the request was deduplicated against the PB/STLB.
+	EvPrefetchDiscarded
+	// EvPrefetchInstalled: the prefetched translation entered the PB; Lat is
+	// the walk's remaining latency at install time.
+	EvPrefetchInstalled
+	// EvPrefetchUsed: a PB entry serviced an iSTLB miss; Lat is the
+	// issue-to-use distance in cycles when known.
+	EvPrefetchUsed
+	// EvPrefetchLate: as EvPrefetchUsed, but the producing walk had not yet
+	// completed — the miss waited out the remainder.
+	EvPrefetchLate
+	// EvPrefetchEvicted: a PB entry was displaced without servicing a miss.
+	EvPrefetchEvicted
+	// EvWalkDemand: a demand page walk completed; Lat is its latency.
+	EvWalkDemand
+	// EvWalkPrefetch: a prefetch page walk completed; Lat is its latency.
+	EvWalkPrefetch
+	// EvWalkDropped: a prefetch walk was dropped for lack of walker MSHRs.
+	EvWalkDropped
+
+	numEventKinds
+)
+
+// eventKindNames are the JSONL "type" strings, indexed by EventKind.
+var eventKindNames = [numEventKinds]string{
+	"prefetch_issued",
+	"prefetch_discarded",
+	"prefetch_installed",
+	"prefetch_used",
+	"prefetch_late",
+	"prefetch_evicted",
+	"walk_demand",
+	"walk_prefetch",
+	"walk_dropped",
+}
+
+// String names the kind as it appears in JSONL output.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "invalid"
+}
+
+// Event is one traced occurrence, stamped with the simulation cycle.
+type Event struct {
+	// Cycle is the simulation time of the event.
+	Cycle arch.Cycle
+	// Kind classifies the event.
+	Kind EventKind
+	// TID and VPN identify the translation involved.
+	TID arch.ThreadID
+	VPN arch.VPN
+	// Lat carries the kind-specific latency/distance (see the kind docs);
+	// zero when not applicable.
+	Lat arch.Cycle
+}
+
+// eventRing is a fixed-capacity overwrite-oldest buffer. Keeping the trailing
+// window bounds probe memory regardless of run length; the overwritten count
+// tells the reader how much history was lost.
+type eventRing struct {
+	buf   []Event
+	next  int    // index the next event is written at
+	total uint64 // events ever pushed
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &eventRing{buf: make([]Event, 0, capacity)}
+}
+
+func (r *eventRing) push(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+func (r *eventRing) reset() {
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.total = 0
+}
+
+// overwritten reports how many events were lost to ring wraparound.
+func (r *eventRing) overwritten() uint64 {
+	return r.total - uint64(len(r.buf))
+}
+
+// snapshot returns the buffered events oldest-first.
+func (r *eventRing) snapshot() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import "math/bits"
+
+// LogHistogram is a power-of-two-bucketed histogram for wide-range cycle
+// counts (walk latencies, prefetch-to-use distances). Bucket 0 holds the
+// value 0; bucket i (i ≥ 1) holds values in [2^(i-1), 2^i). Fixed bucket
+// boundaries keep the histogram O(1) per observation and mergeable across
+// runs.
+type LogHistogram struct {
+	name   string
+	counts [65]uint64 // bits.Len64 of a uint64 is at most 64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewLogHistogram returns an empty histogram with the given JSONL name.
+func NewLogHistogram(name string) *LogHistogram {
+	return &LogHistogram{name: name}
+}
+
+// Name returns the histogram's identifier in emitted output.
+func (h *LogHistogram) Name() string { return h.name }
+
+// Observe records one value.
+func (h *LogHistogram) Observe(v uint64) {
+	h.counts[bits.Len64(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Reset clears all counts.
+func (h *LogHistogram) Reset() {
+	h.counts = [65]uint64{}
+	h.total, h.sum, h.max = 0, 0, 0
+}
+
+// Total returns the number of observations.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// Max returns the largest observed value (0 when empty).
+func (h *LogHistogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Buckets returns the per-bucket counts with trailing zero buckets trimmed.
+func (h *LogHistogram) Buckets() []uint64 {
+	last := -1
+	for i, c := range h.counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	out := make([]uint64, last+1)
+	copy(out, h.counts[:last+1])
+	return out
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (the largest
+// value that lands in it): 0 for bucket 0, 2^i − 1 otherwise.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// observation (0 ≤ q ≤ 1), a conservative (over-)estimate of the true
+// quantile given log2 resolution. Returns 0 when empty.
+func (h *LogHistogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			return BucketUpper(i)
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the telemetry JSONL schema. Every emitted file
+// starts with a header line carrying it; it is bumped on incompatible shape
+// changes so trajectory-tracking consumers can detect mismatches.
+const SchemaVersion = 1
+
+// Line kinds in emitted JSONL, in file order: one header, then samples,
+// events, histograms, and one summary.
+const (
+	KindHeader  = "header"
+	KindSample  = "sample"
+	KindEvent   = "event"
+	KindHist    = "hist"
+	KindSummary = "summary"
+)
+
+// headerLine is the first line of every telemetry file.
+type headerLine struct {
+	Kind     string `json:"kind"`
+	Schema   int    `json:"schema"`
+	Interval uint64 `json:"interval"`
+	// EventCapacity is the event-ring size; -1 when event tracing is off.
+	EventCapacity int `json:"event_capacity"`
+}
+
+// sampleLine wraps an IntervalSample with its kind tag.
+type sampleLine struct {
+	Kind string `json:"kind"`
+	IntervalSample
+}
+
+// eventLine is one trace event in JSONL form.
+type eventLine struct {
+	Kind  string `json:"kind"`
+	Cycle uint64 `json:"cycle"`
+	Type  string `json:"type"`
+	TID   uint8  `json:"tid"`
+	VPN   uint64 `json:"vpn"`
+	Lat   uint64 `json:"lat,omitempty"`
+}
+
+// histLine is one histogram in JSONL form. Buckets are log2: bucket 0 holds
+// the value 0, bucket i holds [2^(i-1), 2^i).
+type histLine struct {
+	Kind    string   `json:"kind"`
+	Name    string   `json:"name"`
+	Total   uint64   `json:"total"`
+	Mean    float64  `json:"mean"`
+	Max     uint64   `json:"max"`
+	P50     uint64   `json:"p50"`
+	P99     uint64   `json:"p99"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// summaryLine closes the file with collection totals.
+type summaryLine struct {
+	Kind    string `json:"kind"`
+	Samples int    `json:"samples"`
+	Events  int    `json:"events"`
+	// EventsOverwritten counts events lost to ring wraparound (the trace is
+	// the trailing window when non-zero).
+	EventsOverwritten uint64 `json:"events_overwritten"`
+	// UntrackedPrefetches counts prefetches whose issue time was not
+	// recorded because the in-flight map was at capacity; their use
+	// distances are missing from the prefetch_to_use_distance histogram.
+	UntrackedPrefetches uint64 `json:"untracked_prefetches,omitempty"`
+}
+
+// WriteJSONL emits everything the probe collected as JSON Lines: a header,
+// the interval samples, the traced events (oldest first), the histograms,
+// and a summary.
+func (p *Probe) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
+
+	evCap := -1
+	if p.ring != nil {
+		evCap = cap(p.ring.buf)
+	}
+	if err := enc.Encode(headerLine{
+		Kind: KindHeader, Schema: SchemaVersion,
+		Interval: p.interval, EventCapacity: evCap,
+	}); err != nil {
+		return err
+	}
+	for i := range p.samples {
+		if err := enc.Encode(sampleLine{Kind: KindSample, IntervalSample: p.samples[i]}); err != nil {
+			return err
+		}
+	}
+	events, overwritten := p.Events()
+	for _, e := range events {
+		if err := enc.Encode(eventLine{
+			Kind: KindEvent, Cycle: uint64(e.Cycle), Type: e.Kind.String(),
+			TID: uint8(e.TID), VPN: uint64(e.VPN), Lat: uint64(e.Lat),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, h := range p.Histograms() {
+		if err := enc.Encode(histLine{
+			Kind: KindHist, Name: h.Name(),
+			Total: h.Total(), Mean: h.Mean(), Max: h.Max(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
+			Buckets: h.Buckets(),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(summaryLine{
+		Kind: KindSummary, Samples: len(p.samples),
+		Events: len(events), EventsOverwritten: overwritten,
+		UntrackedPrefetches: p.untracked,
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL decodes and validates a telemetry file: every line must be a
+// JSON object with a "kind", the first line must be a header carrying a
+// known schema version, and the last a summary. It returns the decoded
+// lines for further inspection.
+func ParseJSONL(r io.Reader) ([]map[string]any, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var lines []map[string]any
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", len(lines)+1, err)
+		}
+		kind, _ := m["kind"].(string)
+		if kind == "" {
+			return nil, fmt.Errorf("telemetry: line %d: missing kind", len(lines)+1)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("telemetry: empty file")
+	}
+	if lines[0]["kind"] != KindHeader {
+		return nil, fmt.Errorf("telemetry: first line is %q, want header", lines[0]["kind"])
+	}
+	if v, ok := lines[0]["schema"].(float64); !ok || int(v) != SchemaVersion {
+		return nil, fmt.Errorf("telemetry: schema %v, want %d", lines[0]["schema"], SchemaVersion)
+	}
+	if lines[len(lines)-1]["kind"] != KindSummary {
+		return nil, fmt.Errorf("telemetry: last line is %q, want summary (truncated file?)", lines[len(lines)-1]["kind"])
+	}
+	return lines, nil
+}

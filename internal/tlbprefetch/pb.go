@@ -1,6 +1,9 @@
 package tlbprefetch
 
-import "morrigan/internal/arch"
+import (
+	"morrigan/internal/arch"
+	"morrigan/internal/telemetry"
+)
 
 // PrefetchBuffer is the fully associative buffer that holds prefetched
 // translations (Table 1: 64-entry, fully associative, 2-cycle). On a hit the
@@ -21,6 +24,11 @@ type PrefetchBuffer struct {
 	// onEvict, when set, observes entries displaced without having served
 	// a miss (the trigger for the paper's correcting page walks).
 	onEvict func(tid arch.ThreadID, vpn arch.VPN)
+
+	// probe, when set, traces useless evictions (prefetch-lifecycle
+	// telemetry); independent of onEvict so correcting walks and telemetry
+	// compose.
+	probe *telemetry.Probe
 }
 
 type pbEntry struct {
@@ -119,6 +127,10 @@ func (b *PrefetchBuffer) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, t
 		}
 	}
 	b.useless++
+	if b.probe != nil {
+		v := &b.ents[victim]
+		b.probe.PrefetchEvicted(v.tid, v.vpn, v.ready)
+	}
 	if b.onEvict != nil {
 		b.onEvict(b.ents[victim].tid, b.ents[victim].vpn)
 	}
@@ -131,6 +143,10 @@ func (b *PrefetchBuffer) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, t
 func (b *PrefetchBuffer) SetEvictionHandler(fn func(tid arch.ThreadID, vpn arch.VPN)) {
 	b.onEvict = fn
 }
+
+// SetProbe attaches the telemetry probe; useless evictions are traced as
+// prefetch-lifecycle events. A nil probe (the default) costs nothing.
+func (b *PrefetchBuffer) SetProbe(p *telemetry.Probe) { b.probe = p }
 
 // Flush drops all entries (context switch).
 func (b *PrefetchBuffer) Flush() {
