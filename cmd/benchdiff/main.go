@@ -1,0 +1,78 @@
+// Command benchdiff compares two campaign result files (the schema-v1 JSON
+// written by morrigansim -results-json or cmd/experiments) and reports
+// per-workload IPC, speedup and wall-clock deltas. It exits 1 when any
+// workload's IPC regressed beyond the threshold (or, with -elapsed-threshold,
+// its wall time grew beyond that gate), making performance a CI-checkable
+// property:
+//
+//	benchdiff -threshold 2 results_old.json results_new.json
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morrigan/internal/benchdiff"
+	"morrigan/internal/runner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: benchdiff [flags] old.json new.json\n\n")
+		fs.PrintDefaults()
+	}
+	threshold := fs.Float64("threshold", 2.0,
+		"flag a workload whose IPC dropped by more than this percent (0 disables)")
+	elapsedThreshold := fs.Float64("elapsed-threshold", 0,
+		"flag a workload whose wall time grew by more than this percent (0 disables; wall time is noisy)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	oldC, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	newC, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+
+	rep := benchdiff.Compare(oldC, newC, benchdiff.Options{
+		IPCThresholdPct:     *threshold,
+		ElapsedThresholdPct: *elapsedThreshold,
+	})
+	if err := rep.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	if rep.Regressed() {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d workload(s) regressed beyond threshold\n", len(rep.Regressions()))
+		return 1
+	}
+	return 0
+}
+
+// load opens and decodes one campaign file.
+func load(path string) (runner.Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return runner.Campaign{}, err
+	}
+	defer f.Close()
+	return benchdiff.Load(f)
+}

@@ -26,18 +26,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' (see -list)")
-		quick   = flag.Bool("quick", false, "reduced scale (benchmark-sized)")
-		full    = flag.Bool("full", false, "paper-scale methodology (slow)")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		measure = flag.Uint64("measure", 0, "override measured instructions per run")
-		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		out     = flag.String("out", "", "write results to a file instead of stdout")
-		jsonOut = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
-		csvOut  = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
-		telem   = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
-		verbose = flag.Bool("v", false, "print per-simulation progress with ETA")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' (see -list)")
+		quick    = flag.Bool("quick", false, "reduced scale (benchmark-sized)")
+		full     = flag.Bool("full", false, "paper-scale methodology (slow)")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		out      = flag.String("out", "", "write results to a file instead of stdout")
+		jsonOut  = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		csvOut   = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
+		telem    = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
+		serve    = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
+		benchOut = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
+		verbose  = flag.Bool("v", false, "print per-simulation progress with ETA")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -70,12 +72,22 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	var rec *morrigan.CampaignRecorder
-	if *jsonOut != "" || *csvOut != "" {
+	if *jsonOut != "" || *csvOut != "" || *benchOut != "" {
 		rec = &morrigan.CampaignRecorder{}
 		opt.Record = rec
 	}
 	if *telem != "" {
 		opt.Telemetry = &morrigan.CampaignTelemetry{Dir: *telem}
+	}
+	if *serve != "" {
+		srv := morrigan.NewObservabilityServer()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatal("serve: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s/metrics\n", addr)
+		opt.Observer = srv
 	}
 
 	var w io.Writer = os.Stdout
@@ -99,18 +111,18 @@ func main() {
 		start := time.Now()
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
-			emitRecords(rec, *jsonOut, *csvOut)
+			emitRecords(rec, *jsonOut, *csvOut, *benchOut)
 			fatal("%s: %v", id, err)
 		}
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	emitRecords(rec, *jsonOut, *csvOut)
+	emitRecords(rec, *jsonOut, *csvOut, *benchOut)
 }
 
 // emitRecords writes whatever the recorder has collected so far; on a partial
 // (failed or interrupted) campaign that is every completed simulation.
-func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut string) {
+func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut string) {
 	if rec == nil {
 		return
 	}
@@ -134,6 +146,10 @@ func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut string) {
 	}
 	write(jsonOut, c.WriteJSON)
 	write(csvOut, c.WriteCSV)
+	if benchOut != "" {
+		b := morrigan.NewCampaignBench(c)
+		write(benchOut, b.WriteJSON)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -46,6 +46,8 @@ func main() {
 		telemOut  = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
 		interval  = flag.Uint64("interval", 0, "telemetry sampling interval in instructions (0 = default 100000)")
 		events    = flag.Int("events", 0, "telemetry event-ring capacity (0 = default 4096, negative disables the event trace)")
+		serve     = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
+		benchOut  = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
@@ -131,6 +133,16 @@ func main() {
 			Config: morrigan.TelemetryConfig{Interval: *interval, EventBuffer: *events},
 		}
 	}
+	if *serve != "" {
+		srv := morrigan.NewObservabilityServer()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatal("serve: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "morrigansim: observability on http://%s/metrics\n", addr)
+		opt.Observer = srv
+	}
 	results, err := morrigan.RunCampaign(ctx, cjobs, opt)
 
 	for i, res := range results {
@@ -148,8 +160,34 @@ func main() {
 	}
 	writeCampaign(*jsonOut, results, (*morrigan.Campaign).WriteJSON)
 	writeCampaign(*csvOut, results, (*morrigan.Campaign).WriteCSV)
+	writeBench(*benchOut, results)
 	if err != nil {
 		os.Exit(1)
+	}
+}
+
+// writeBench stamps the campaign's throughput summary (the BENCH_*.json
+// trajectory artifact) to path ('-' for stdout); an empty path is a no-op.
+func writeBench(path string, results []morrigan.CampaignResult) {
+	if path == "" {
+		return
+	}
+	c := morrigan.Campaign{Schema: morrigan.CampaignSchemaVersion}
+	for _, res := range results {
+		c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
+	}
+	b := morrigan.NewCampaignBench(c)
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := b.WriteJSON(w); err != nil {
+		fatal("%v", err)
 	}
 }
 

@@ -1,0 +1,238 @@
+// Package benchdiff compares two campaign result files (the schema-v1 JSON
+// emitted by internal/runner) and reports per-workload performance deltas:
+// simulated IPC (did the modelled machine get slower?), speedup (new/old IPC),
+// wall-clock elapsed time and simulation throughput (did the simulator get
+// slower?). A configurable threshold turns deltas into regression verdicts,
+// making performance a machine-checkable property in CI and the BENCH_*
+// trajectory: cmd/benchdiff exits non-zero when any metric regresses beyond
+// its threshold.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"morrigan/internal/runner"
+)
+
+// Row is one matched workload's comparison.
+type Row struct {
+	// Key is the record identity: "experiment/config/workload".
+	Key string
+	// OldIPC and NewIPC are the simulated IPCs.
+	OldIPC, NewIPC float64
+	// Speedup is NewIPC/OldIPC (1.0 = unchanged).
+	Speedup float64
+	// IPCDeltaPct is the signed IPC change in percent (negative = slower).
+	IPCDeltaPct float64
+	// OldElapsedMS and NewElapsedMS are wall-clock job times.
+	OldElapsedMS, NewElapsedMS float64
+	// ElapsedDeltaPct is the signed elapsed change in percent (positive =
+	// the simulation got slower to run).
+	ElapsedDeltaPct float64
+	// OldInstrPerSec and NewInstrPerSec are simulation throughputs (zero in
+	// files written before throughput accounting existed).
+	OldInstrPerSec, NewInstrPerSec float64
+	// IPCRegressed and ElapsedRegressed mark threshold violations.
+	IPCRegressed, ElapsedRegressed bool
+}
+
+// Report is the full comparison.
+type Report struct {
+	// Rows compare the workloads present in both files, in key order.
+	Rows []Row
+	// OnlyOld and OnlyNew list unmatched keys (schema drift, renamed or
+	// added workloads) — reported, never a regression.
+	OnlyOld, OnlyNew []string
+	// SkippedErrors lists keys whose record failed in either file.
+	SkippedErrors []string
+	// GeoMeanSpeedup is the geometric-mean IPC speedup across Rows.
+	GeoMeanSpeedup float64
+	// IPCThresholdPct and ElapsedThresholdPct echo the comparison options.
+	IPCThresholdPct, ElapsedThresholdPct float64
+}
+
+// Options configures a comparison.
+type Options struct {
+	// IPCThresholdPct flags a workload whose IPC dropped by more than this
+	// percentage. Zero disables IPC gating (any drop tolerated).
+	IPCThresholdPct float64
+	// ElapsedThresholdPct flags a workload whose wall-clock time grew by
+	// more than this percentage. Zero disables elapsed gating — wall time is
+	// machine-noise sensitive, so this gate is opt-in.
+	ElapsedThresholdPct float64
+}
+
+// Load decodes a campaign results JSON file, rejecting unknown schemas.
+func Load(r io.Reader) (runner.Campaign, error) {
+	var c runner.Campaign
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("benchdiff: %w", err)
+	}
+	if c.Schema != runner.SchemaVersion {
+		return c, fmt.Errorf("benchdiff: schema %d, want %d", c.Schema, runner.SchemaVersion)
+	}
+	return c, nil
+}
+
+// key is a record's identity.
+func key(r runner.Record) string {
+	return runner.Job{Experiment: r.Experiment, Config: r.Config, Workload: r.Workload}.Name()
+}
+
+// index maps records by key, keeping the first of any duplicates.
+func index(c runner.Campaign) (map[string]runner.Record, []string) {
+	m := make(map[string]runner.Record, len(c.Records))
+	keys := make([]string, 0, len(c.Records))
+	for _, r := range c.Records {
+		k := key(r)
+		if _, dup := m[k]; dup {
+			continue
+		}
+		m[k] = r
+		keys = append(keys, k)
+	}
+	return m, keys
+}
+
+// Compare matches the two campaigns' records by identity and derives the
+// per-workload deltas and regression verdicts.
+func Compare(oldC, newC runner.Campaign, opt Options) Report {
+	rep := Report{IPCThresholdPct: opt.IPCThresholdPct, ElapsedThresholdPct: opt.ElapsedThresholdPct}
+	oldIdx, oldKeys := index(oldC)
+	newIdx, newKeys := index(newC)
+
+	for _, k := range newKeys {
+		if _, ok := oldIdx[k]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, k)
+		}
+	}
+	logSum, logN := 0.0, 0
+	for _, k := range oldKeys {
+		o := oldIdx[k]
+		n, ok := newIdx[k]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, k)
+			continue
+		}
+		if o.Error != "" || n.Error != "" || o.Stats == nil || n.Stats == nil {
+			rep.SkippedErrors = append(rep.SkippedErrors, k)
+			continue
+		}
+		row := Row{
+			Key:            k,
+			OldIPC:         o.Stats.IPC,
+			NewIPC:         n.Stats.IPC,
+			OldElapsedMS:   o.ElapsedMS,
+			NewElapsedMS:   n.ElapsedMS,
+			OldInstrPerSec: o.InstrPerSec,
+			NewInstrPerSec: n.InstrPerSec,
+		}
+		if row.OldIPC > 0 {
+			row.Speedup = row.NewIPC / row.OldIPC
+			row.IPCDeltaPct = (row.Speedup - 1) * 100
+			logSum += math.Log(row.Speedup)
+			logN++
+		}
+		if row.OldElapsedMS > 0 {
+			row.ElapsedDeltaPct = (row.NewElapsedMS/row.OldElapsedMS - 1) * 100
+		}
+		if opt.IPCThresholdPct > 0 && row.IPCDeltaPct < -opt.IPCThresholdPct {
+			row.IPCRegressed = true
+		}
+		if opt.ElapsedThresholdPct > 0 && row.ElapsedDeltaPct > opt.ElapsedThresholdPct {
+			row.ElapsedRegressed = true
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Key < rep.Rows[j].Key })
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	sort.Strings(rep.SkippedErrors)
+	if logN > 0 {
+		rep.GeoMeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+	return rep
+}
+
+// Regressions returns the keys that violated a threshold, worst IPC first.
+func (r Report) Regressions() []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.IPCRegressed || row.ElapsedRegressed {
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IPCDeltaPct < out[j].IPCDeltaPct })
+	return out
+}
+
+// Regressed reports whether any workload violated a threshold.
+func (r Report) Regressed() bool { return len(r.Regressions()) > 0 }
+
+// Write renders the report as an aligned text table plus notes.
+func (r Report) Write(w io.Writer) error {
+	if len(r.Rows) == 0 {
+		fmt.Fprintln(w, "benchdiff: no comparable workloads")
+	}
+	rows := make([][]string, 0, len(r.Rows)+1)
+	rows = append(rows, []string{"workload", "ipc old", "ipc new", "delta", "speedup", "elapsed old", "elapsed new", "delta", "verdict"})
+	for _, row := range r.Rows {
+		verdict := "ok"
+		if row.IPCRegressed {
+			verdict = "IPC REGRESSED"
+		}
+		if row.ElapsedRegressed {
+			if verdict != "ok" {
+				verdict += "+ELAPSED"
+			} else {
+				verdict = "ELAPSED REGRESSED"
+			}
+		}
+		rows = append(rows, []string{
+			row.Key,
+			fmt.Sprintf("%.3f", row.OldIPC),
+			fmt.Sprintf("%.3f", row.NewIPC),
+			fmt.Sprintf("%+.2f%%", row.IPCDeltaPct),
+			fmt.Sprintf("%.3f", row.Speedup),
+			fmt.Sprintf("%.0fms", row.OldElapsedMS),
+			fmt.Sprintf("%.0fms", row.NewElapsedMS),
+			fmt.Sprintf("%+.1f%%", row.ElapsedDeltaPct),
+			verdict,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(w, "\ngeomean speedup %.4f over %d workloads\n", r.GeoMeanSpeedup, len(r.Rows))
+	}
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(w, "note: %s only in old file\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(w, "note: %s only in new file\n", k)
+	}
+	for _, k := range r.SkippedErrors {
+		fmt.Fprintf(w, "note: %s skipped (failed job)\n", k)
+	}
+	return nil
+}

@@ -55,6 +55,10 @@ type Options struct {
 	// simulation and writes one JSONL file per job into Telemetry.Dir
 	// (see internal/telemetry). Rendered tables are unaffected.
 	Telemetry *runner.TelemetryOptions
+	// Observer, when non-nil, receives campaign lifecycle notifications for
+	// every campaign an experiment launches (see internal/obs for the HTTP
+	// observability server built on it). Rendered tables are unaffected.
+	Observer runner.Observer
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -147,6 +151,7 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		Workers:   o.Jobs,
 		Progress:  runner.WriterProgress(o.Progress),
 		Telemetry: o.Telemetry,
+		Observer:  o.Observer,
 	})
 	if o.Record != nil {
 		o.Record.Add(results)

@@ -1,0 +1,311 @@
+// Package obs is the live observability surface of a simulation campaign: an
+// opt-in HTTP server that attaches to the campaign runner (internal/runner)
+// through its Observer hooks and exposes, while simulations are still
+// running:
+//
+//   - GET /metrics — Prometheus text exposition: campaign progress (jobs
+//     done/failed, ETA), per-job live simulator gauges (instructions, cycles,
+//     IPC, iSTLB/dSTLB MPKI, PB hit rate, simulated instructions per second)
+//     scraped from each job's telemetry probe snapshot, and host
+//     self-profiling gauges (heap, GC, goroutines);
+//   - GET /campaign — the same state as one JSON document;
+//   - GET /events — a Server-Sent-Events stream of telemetry interval
+//     samples and job lifecycle transitions, in arrival order;
+//   - GET /healthz — liveness;
+//   - /debug/pprof/* — the standard Go profiler endpoints.
+//
+// The server is purely observational: it reads only the probes'
+// cross-goroutine snapshot surface (telemetry.Snapshot), so an attached
+// server leaves campaign results bit-identical to an unobserved run. When no
+// server is constructed (the -serve flag unset), none of this code runs at
+// all.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"morrigan/internal/runner"
+	"morrigan/internal/telemetry"
+)
+
+// maxRecent bounds the finished-job history kept for /campaign; older entries
+// roll into the aggregate counters only.
+const maxRecent = 64
+
+// jobState tracks one campaign job from JobStarted to JobFinished.
+type jobState struct {
+	index   int
+	name    string
+	started time.Time
+	probe   *telemetry.Probe
+}
+
+// finishedJob is the bounded post-completion record kept for /campaign.
+type finishedJob struct {
+	Name         string  `json:"name"`
+	OK           bool    `json:"ok"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	Instructions uint64  `json:"instructions"`
+	InstrPerSec  float64 `json:"instr_per_sec"`
+	IPC          float64 `json:"ipc"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Server is the observability server. Construct with New, attach to a
+// campaign via runner.Options.Observer, and serve with Start (or mount
+// Handler on any http server). All methods are safe for concurrent use.
+type Server struct {
+	mu      sync.Mutex
+	started time.Time
+
+	totalJobs   int // scheduled across all campaigns so far
+	doneJobs    int
+	failedJobs  int
+	doneInstr   uint64  // executed instructions of finished jobs
+	doneElapsed float64 // summed wall seconds of finished jobs
+
+	active map[int]*jobState // live jobs of the current campaign, by index
+	recent []finishedJob     // trailing window of finished jobs
+
+	scrapes uint64 // /metrics requests served (a counter metric)
+
+	hub *hub
+	mux *http.ServeMux
+
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// New builds a detached server; nothing listens until Start (tests mount
+// Handler() on an httptest server instead).
+func New() *Server {
+	s := &Server{
+		started: time.Now(),
+		active:  make(map[int]*jobState),
+		hub:     newHub(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/campaign", s.handleCampaign)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and custom mounting).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves in the
+// background until Close. It returns the bound address, so ":0" is usable.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.mux}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Close path; anything else is lost —
+		// the campaign outcome must not depend on the observability server.
+		_ = s.srv.Serve(lis)
+	}()
+	return lis.Addr(), nil
+}
+
+// Close shuts the listener down and disconnects event subscribers.
+func (s *Server) Close() error {
+	s.hub.close()
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Server implements runner.Observer.
+var _ runner.Observer = (*Server)(nil)
+
+// CampaignStarted accumulates scheduled jobs. Experiment harnesses run many
+// campaigns back to back through one server; totals aggregate across them,
+// and per-campaign job indices only ever collide after the previous
+// campaign's jobs have all finished, so the active map is safe to reuse.
+func (s *Server) CampaignStarted(total int) {
+	s.mu.Lock()
+	s.totalJobs += total
+	s.mu.Unlock()
+}
+
+// JobStarted registers a live job and hooks its probe's sample stream into
+// the SSE hub. Called on the job's worker goroutine before the simulation
+// starts, the only point where the probe's single-goroutine surface may be
+// touched from here.
+func (s *Server) JobStarted(index int, job runner.Job, probe *telemetry.Probe) {
+	name := job.Name()
+	probe.SetSampleListener(func(is telemetry.IntervalSample) {
+		s.hub.publish(event{
+			Type: "sample",
+			Data: sampleEvent{Job: name, Index: index, Sample: is},
+		})
+	})
+	s.mu.Lock()
+	s.active[index] = &jobState{index: index, name: name, started: time.Now(), probe: probe}
+	s.mu.Unlock()
+	s.hub.publish(event{Type: "job", Data: jobEvent{Job: name, Index: index, State: "started"}})
+}
+
+// JobFinished retires a live job into the aggregate counters and the bounded
+// recent-history window.
+func (s *Server) JobFinished(index int, res runner.Result) {
+	f := finishedJob{
+		Name:         res.Job.Name(),
+		OK:           res.Err == nil,
+		ElapsedMS:    float64(res.Elapsed.Microseconds()) / 1000,
+		Instructions: res.SimInstructions,
+		InstrPerSec:  res.InstrPerSec,
+		IPC:          res.Stats.IPC,
+	}
+	if res.Err != nil {
+		f.Error = res.Err.Error()
+	}
+	s.mu.Lock()
+	delete(s.active, index)
+	s.doneJobs++
+	if res.Err != nil {
+		s.failedJobs++
+	}
+	s.doneInstr += res.SimInstructions
+	s.doneElapsed += res.Elapsed.Seconds()
+	s.recent = append(s.recent, f)
+	if len(s.recent) > maxRecent {
+		s.recent = s.recent[len(s.recent)-maxRecent:]
+	}
+	s.mu.Unlock()
+	state := "finished"
+	if res.Err != nil {
+		state = "failed"
+	}
+	s.hub.publish(event{Type: "job", Data: jobEvent{Job: f.Name, Index: index, State: state}})
+}
+
+// eta estimates remaining campaign seconds from the observed completion rate;
+// zero until one job has finished or when nothing remains. Callers hold s.mu.
+func (s *Server) eta(now time.Time) float64 {
+	rem := s.totalJobs - s.doneJobs
+	if s.doneJobs == 0 || rem <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(s.started).Seconds()
+	return elapsed / float64(s.doneJobs) * float64(rem)
+}
+
+// liveJob is one active job's scrape view.
+type liveJob struct {
+	Index        int     `json:"index"`
+	Name         string  `json:"name"`
+	RunningSecs  float64 `json:"running_seconds"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	ISTLBMPKI    float64 `json:"istlb_mpki"`
+	DSTLBMPKI    float64 `json:"dstlb_mpki"`
+	PBHitRate    float64 `json:"pb_hit_rate"`
+	InstrPerSec  float64 `json:"instr_per_sec"`
+	Samples      int     `json:"samples"`
+}
+
+// liveJobs snapshots the active jobs (probe snapshots are read without
+// holding s.mu beyond the map walk; Snapshot is lock-free).
+func (s *Server) liveJobs(now time.Time) []liveJob {
+	s.mu.Lock()
+	states := make([]*jobState, 0, len(s.active))
+	for _, st := range s.active {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+
+	jobs := make([]liveJob, 0, len(states))
+	for _, st := range states {
+		lj := liveJob{Index: st.index, Name: st.name, RunningSecs: now.Sub(st.started).Seconds()}
+		if snap, ok := st.probe.Snapshot(); ok {
+			lj.Instructions = snap.Cum.Instructions
+			lj.Cycles = uint64(snap.Cum.Cycles)
+			lj.IPC = snap.IPC()
+			lj.ISTLBMPKI = snap.ISTLBMPKI()
+			lj.DSTLBMPKI = snap.DSTLBMPKI()
+			lj.PBHitRate = snap.PBHitRate()
+			lj.Samples = snap.Seq
+			if lj.RunningSecs > 0 {
+				lj.InstrPerSec = float64(snap.Cum.Instructions) / lj.RunningSecs
+			}
+		}
+		jobs = append(jobs, lj)
+	}
+	return jobs
+}
+
+// campaignStatus is the /campaign JSON document.
+type campaignStatus struct {
+	Schema         int           `json:"schema"`
+	JobsTotal      int           `json:"jobs_total"`
+	JobsDone       int           `json:"jobs_done"`
+	JobsFailed     int           `json:"jobs_failed"`
+	JobsActive     int           `json:"jobs_active"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	ETASeconds     float64       `json:"eta_seconds"`
+	Instructions   uint64        `json:"instructions"`
+	Active         []liveJob     `json:"active"`
+	Recent         []finishedJob `json:"recent"`
+}
+
+// handleCampaign serves the live JSON status.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	live := s.liveJobs(now)
+
+	s.mu.Lock()
+	st := campaignStatus{
+		Schema:         runner.SchemaVersion,
+		JobsTotal:      s.totalJobs,
+		JobsDone:       s.doneJobs,
+		JobsFailed:     s.failedJobs,
+		JobsActive:     len(s.active),
+		ElapsedSeconds: now.Sub(s.started).Seconds(),
+		ETASeconds:     s.eta(now),
+		Instructions:   s.doneInstr,
+		Recent:         append([]finishedJob(nil), s.recent...),
+	}
+	s.mu.Unlock()
+
+	st.Active = live
+	for _, lj := range live {
+		st.Instructions += lj.Instructions
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// handleHealthz is the liveness endpoint.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

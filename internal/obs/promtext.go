@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// The exposition format's line shapes: sample lines are a metric name, an
+// optional label set, and a float value (optionally a timestamp, which this
+// server never emits).
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([^ ]+)( [0-9]+)?$`)
+	labelsRE     = regexp.MustCompile(`^\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\}$`)
+	valueRE      = regexp.MustCompile(`^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$`)
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text exposition
+// format (version 0.0.4): every line is a HELP/TYPE comment or a sample; each
+// metric family declares TYPE at most once and before its first sample; TYPE
+// names a known metric type; at least one sample is present. It is the
+// format-checking helper the /metrics tests and the CI smoke step share.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]string{} // metric family -> declared type
+	sampled := map[string]bool{} // families that have emitted a sample
+	samples := 0
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: malformed HELP: %q", lineno, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			fields := strings.Fields(rest)
+			if len(fields) != 2 || !metricNameRE.MatchString(fields[0]) {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineno, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineno, fields[1])
+			}
+			if _, dup := typed[fields[0]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineno, fields[0])
+			}
+			if sampled[fields[0]] {
+				return fmt.Errorf("line %d: TYPE for %q after its samples", lineno, fields[0])
+			}
+			typed[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are permitted by the format.
+		default:
+			m := sampleRE.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample: %q", lineno, line)
+			}
+			if m[2] != "" && !labelsRE.MatchString(m[2]) {
+				return fmt.Errorf("line %d: malformed labels: %q", lineno, m[2])
+			}
+			if !valueRE.MatchString(m[3]) {
+				return fmt.Errorf("line %d: malformed value: %q", lineno, m[3])
+			}
+			sampled[familyOf(m[1])] = true
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+// familyOf maps a sample's metric name to its family name (histogram and
+// summary samples carry _bucket/_sum/_count suffixes).
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suf)
+	}
+	return name
+}
+
+// ParseExposition returns the sample values by metric line (name plus label
+// set, verbatim), for tests asserting on specific series.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := map[string]float64{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("malformed sample: %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(m[3], "%g", &v); err != nil {
+			return nil, fmt.Errorf("malformed value in %q: %w", line, err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out, sc.Err()
+}

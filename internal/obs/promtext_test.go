@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP morrigan_campaign_jobs Jobs scheduled.
+# TYPE morrigan_campaign_jobs gauge
+morrigan_campaign_jobs 45
+# HELP morrigan_job_ipc Cumulative IPC.
+# TYPE morrigan_job_ipc gauge
+morrigan_job_ipc{index="0",job="fig15/Morrigan/qmm-srv-07"} 1.25
+morrigan_job_ipc{index="1",job="fig15/Morrigan/qmm-srv-08"} 0.98
+# TYPE morrigan_scrapes_total counter
+morrigan_scrapes_total 3
+weird_but_legal_value 1.5e-07
+negative_value -4
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no samples":        "# HELP a b\n# TYPE a gauge\n",
+		"bad type":          "# TYPE a foo\na 1\n",
+		"duplicate type":    "# TYPE a gauge\n# TYPE a gauge\na 1\n",
+		"type after sample": "a 1\n# TYPE a gauge\n",
+		"bad metric name":   "0bad 1\n",
+		"bad value":         "a one\n",
+		"unclosed labels":   "a{x=\"y\" 1\n",
+		"bad label name":    "a{0x=\"y\"} 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: invalid exposition accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	in := "# TYPE a gauge\na 1\nb{x=\"y\"} 2.5\n"
+	vals, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["a"] != 1 || vals[`b{x="y"}`] != 2.5 {
+		t.Errorf("parsed %v", vals)
+	}
+}

@@ -27,6 +27,14 @@ type Record struct {
 	Measure uint64 `json:"measure"`
 	// ElapsedMS is the job's wall-clock time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// SimInstructions is the total instructions executed, warmup included.
+	SimInstructions uint64 `json:"sim_instructions"`
+	// InstrPerSec is the job's simulation throughput (simulated instructions
+	// per wall-clock second) — the machine-comparable perf figure.
+	InstrPerSec float64 `json:"instr_per_sec"`
+	// PeakHeapBytes is the process heap high-water mark observed around the
+	// job (shared across concurrent jobs; see runner.Result).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	// Error is the job's failure, if any; Stats is nil in that case.
 	Error string `json:"error,omitempty"`
 	// Telemetry is the job's JSONL telemetry file, when collection was on.
@@ -48,13 +56,16 @@ type Campaign struct {
 // NewRecord converts one Result into its machine-readable form.
 func NewRecord(res Result) Record {
 	r := Record{
-		Experiment: res.Job.Experiment,
-		Config:     res.Job.Config,
-		Workload:   res.Job.Workload,
-		Warmup:     res.Job.Warmup,
-		Measure:    res.Job.Measure,
-		ElapsedMS:  float64(res.Elapsed.Microseconds()) / 1000,
-		Telemetry:  res.TelemetryPath,
+		Experiment:      res.Job.Experiment,
+		Config:          res.Job.Config,
+		Workload:        res.Job.Workload,
+		Warmup:          res.Job.Warmup,
+		Measure:         res.Job.Measure,
+		ElapsedMS:       float64(res.Elapsed.Microseconds()) / 1000,
+		SimInstructions: res.SimInstructions,
+		InstrPerSec:     res.InstrPerSec,
+		PeakHeapBytes:   res.PeakHeapBytes,
+		Telemetry:       res.TelemetryPath,
 	}
 	if res.Err != nil {
 		r.Error = res.Err.Error()
@@ -79,7 +90,8 @@ func (c *Campaign) WriteJSON(w io.Writer) error {
 func (c *Campaign) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := append([]string{
-		"experiment", "config", "workload", "warmup", "measure", "elapsed_ms", "error",
+		"experiment", "config", "workload", "warmup", "measure", "elapsed_ms",
+		"sim_instructions", "instr_per_sec", "peak_heap_bytes", "error",
 	}, statColumns()...)
 	if err := cw.Write(header); err != nil {
 		return err
@@ -88,7 +100,11 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 		row := []string{
 			r.Experiment, r.Config, r.Workload,
 			fmt.Sprintf("%d", r.Warmup), fmt.Sprintf("%d", r.Measure),
-			fmt.Sprintf("%.3f", r.ElapsedMS), r.Error,
+			fmt.Sprintf("%.3f", r.ElapsedMS),
+			fmt.Sprintf("%d", r.SimInstructions),
+			fmt.Sprintf("%.0f", r.InstrPerSec),
+			fmt.Sprintf("%d", r.PeakHeapBytes),
+			r.Error,
 		}
 		if r.Stats != nil {
 			row = append(row, statValues(*r.Stats)...)

@@ -74,6 +74,18 @@ type Result struct {
 	Err error
 	// Elapsed is the job's wall-clock execution time (zero if never started).
 	Elapsed time.Duration
+	// SimInstructions is the total instructions the job executed, warmup
+	// included (partial counts survive failed or cancelled jobs).
+	SimInstructions uint64
+	// InstrPerSec is the job's simulation throughput: SimInstructions per
+	// wall-clock second. It is the machine-comparable performance figure the
+	// BENCH_* trajectory tracks.
+	InstrPerSec float64
+	// PeakHeapBytes is the larger of the process heap (runtime.MemStats
+	// HeapAlloc) observed at job start and end. The heap is shared by every
+	// concurrent job, so this is an upper bound on the job's own footprint,
+	// comparable across runs at a fixed worker count.
+	PeakHeapBytes uint64
 	// TelemetryPath is the job's JSONL telemetry file, when
 	// Options.Telemetry was set and the job ran.
 	TelemetryPath string
@@ -92,6 +104,24 @@ type Options struct {
 	// Telemetry, when non-nil, attaches a telemetry probe to every job and
 	// writes one JSONL file per job into Telemetry.Dir.
 	Telemetry *TelemetryOptions
+	// Observer, when non-nil, receives campaign lifecycle callbacks (see
+	// Observer); it also forces a telemetry probe onto every job so live
+	// counters are scrapeable, even when Telemetry is nil.
+	Observer Observer
+}
+
+// Observer receives campaign lifecycle notifications, the attach surface of
+// the live observability server (internal/obs). CampaignStarted is called
+// once per Run before any job launches; JobStarted and JobFinished are called
+// from worker goroutines (concurrently with each other) for every job.
+//
+// The probe passed to JobStarted is owned by the job's simulation goroutine:
+// an observer may only use its cross-goroutine surface — Snapshot(), and
+// SetSampleListener before the job starts running (i.e. during JobStarted).
+type Observer interface {
+	CampaignStarted(total int)
+	JobStarted(index int, job Job, probe *telemetry.Probe)
+	JobFinished(index int, res Result)
 }
 
 // workers resolves the pool width for n jobs.
@@ -128,6 +158,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 			return results, fmt.Errorf("runner: telemetry dir: %w", err)
 		}
 	}
+	if opt.Observer != nil {
+		opt.Observer.CampaignStarted(len(jobs))
+	}
 
 	var (
 		mu      sync.Mutex // guards next and the progress tracker
@@ -150,6 +183,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 				}
 				claimed[i] = true
 				results[i] = execute(ctx, i, jobs[i], opt)
+				if opt.Observer != nil {
+					opt.Observer.JobFinished(i, results[i])
+				}
 				mu.Lock()
 				prog.done(results[i])
 				mu.Unlock()
@@ -199,13 +235,24 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 		defer cancel()
 	}
 	start := time.Now()
+	startHeap := heapAlloc()
 	var probe *telemetry.Probe
+	var s *sim.Simulator
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("runner: %s: panic: %v\n%s", j.Name(), r, debug.Stack())
 		}
-		if probe != nil {
+		// Throughput and peak-heap accounting survive failed jobs: a partial
+		// instruction count over a partial elapsed time is still a rate.
+		if s != nil {
+			res.SimInstructions = s.Executed()
+		}
+		if secs := res.Elapsed.Seconds(); secs > 0 {
+			res.InstrPerSec = float64(res.SimInstructions) / secs
+		}
+		res.PeakHeapBytes = max(startHeap, heapAlloc())
+		if probe != nil && opt.Telemetry != nil {
 			// Flush whatever was collected — partial telemetry from a
 			// failed or cancelled job is still diagnostic data.
 			path, werr := opt.Telemetry.writeTelemetry(i, j, probe)
@@ -216,12 +263,26 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 		}
 	}()
 	cfg := j.NewConfig()
-	if opt.Telemetry != nil {
+	switch {
+	case opt.Telemetry != nil:
 		probe = telemetry.NewProbe(opt.Telemetry.Config)
-		cfg.Probe = probe
+	case opt.Observer != nil:
+		// Observer-only probes exist for live counter scraping; no JSONL is
+		// written, and the event ring would go unread, so it is disabled.
+		probe = telemetry.NewProbe(telemetry.Config{EventBuffer: -1})
 	}
-	s, err := sim.New(cfg, j.NewThreads())
+	if probe != nil {
+		cfg.Probe = probe
+		if opt.Observer != nil {
+			// Before the simulation starts: the observer may still touch the
+			// probe's single-goroutine surface (e.g. SetSampleListener) here.
+			opt.Observer.JobStarted(i, j, probe)
+		}
+	}
+	var err error
+	s, err = sim.New(cfg, j.NewThreads())
 	if err != nil {
+		s = nil
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res
 	}
@@ -232,4 +293,13 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 	}
 	res.Stats = st
 	return res
+}
+
+// heapAlloc samples the process's live heap. ReadMemStats costs a
+// stop-the-world pause measured in microseconds — twice per job, against
+// jobs that run for seconds, it is free.
+func heapAlloc() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
 }

@@ -59,6 +59,12 @@ type Simulator struct {
 	// nextSwitch is the instruction count of the next context switch.
 	nextSwitch uint64
 
+	// executed counts every instruction stepped since construction, warmup
+	// included and never reset — the denominator-free numerator for
+	// simulation-throughput (simulated instructions per wall second)
+	// accounting in the campaign runner.
+	executed uint64
+
 	// probe is the optional telemetry collector; nil (the default) keeps
 	// every hook on the hot path a single predictable branch. probeNext is
 	// the retired-instruction count of the next time-series sample.
@@ -238,6 +244,7 @@ func (s *Simulator) run(ctx context.Context, n uint64) error {
 			}
 			s.step(arch.ThreadID(ti), th, &rec)
 			executed++
+			s.executed++
 		}
 		ti = (ti + 1) % len(s.threads)
 	}
@@ -619,6 +626,8 @@ func (s *Simulator) telemetrySample() telemetry.Sample {
 		ITLBMisses:    s.itlb.Misses(),
 		ISTLBAccesses: s.c.istlbAccesses,
 		ISTLBMisses:   s.c.istlbMisses,
+		DSTLBAccesses: s.c.dstlbAccesses,
+		DSTLBMisses:   s.c.dstlbMisses,
 		PBHits:        s.c.pbHits,
 		PrefIssued:    s.c.prefIssued,
 		PrefDiscarded: s.c.prefDiscarded,
@@ -631,6 +640,11 @@ func (s *Simulator) telemetrySample() telemetry.Sample {
 
 // Probe exposes the attached telemetry probe (nil when telemetry is off).
 func (s *Simulator) Probe() *telemetry.Probe { return s.probe }
+
+// Executed returns the total instructions stepped since construction, warmup
+// included; unlike Stats.Instructions it is never reset, so it divides by
+// wall-clock time into an honest simulation-throughput figure.
+func (s *Simulator) Executed() uint64 { return s.executed }
 
 // Walker exposes the page walker (tests and experiments read its PSC).
 func (s *Simulator) Walker() *ptw.Walker { return s.walker }

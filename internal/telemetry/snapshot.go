@@ -1,0 +1,79 @@
+package telemetry
+
+// Snapshot is a cross-goroutine view of a live probe, published atomically at
+// every closed sampling interval. It is the scrape surface the observability
+// server (internal/obs) reads while the simulation keeps running: the probe
+// itself is single-goroutine, but a Snapshot, once obtained, is an immutable
+// value safe to use from anywhere.
+type Snapshot struct {
+	// Cum holds the simulator's cumulative counters at the most recently
+	// closed interval boundary.
+	Cum Sample
+	// Seq is the number of interval samples recorded so far.
+	Seq int
+	// Last is the most recent interval sample (zero when Seq is 0).
+	Last IntervalSample
+}
+
+// IPC returns cumulative instructions per cycle.
+func (s Snapshot) IPC() float64 {
+	if s.Cum.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Cum.Instructions) / float64(s.Cum.Cycles)
+}
+
+// ISTLBMPKI returns the cumulative iSTLB misses per kilo-instruction.
+func (s Snapshot) ISTLBMPKI() float64 { return mpki(s.Cum.ISTLBMisses, s.Cum.Instructions) }
+
+// DSTLBMPKI returns the cumulative dSTLB misses per kilo-instruction.
+func (s Snapshot) DSTLBMPKI() float64 { return mpki(s.Cum.DSTLBMisses, s.Cum.Instructions) }
+
+// PBHitRate returns the cumulative fraction of iSTLB misses served by the
+// prefetch buffer.
+func (s Snapshot) PBHitRate() float64 {
+	if s.Cum.ISTLBMisses == 0 {
+		return 0
+	}
+	return float64(s.Cum.PBHits) / float64(s.Cum.ISTLBMisses)
+}
+
+// mpki is misses per kilo-instruction, zero-guarded.
+func mpki(misses, instr uint64) float64 {
+	if instr == 0 {
+		return 0
+	}
+	return float64(misses) / (float64(instr) / 1000)
+}
+
+// Snapshot returns the most recently published cross-goroutine view, and
+// whether any interval has closed yet. Unlike every other Probe method it is
+// safe to call from any goroutine.
+func (p *Probe) Snapshot() (Snapshot, bool) {
+	s := p.published.Load()
+	if s == nil {
+		return Snapshot{}, false
+	}
+	return *s, true
+}
+
+// SetSampleListener registers fn to be called (on the simulation goroutine)
+// after every interval sample is recorded. It must be set before the
+// simulation starts and must be fast and non-blocking — it runs on the
+// simulator's hot path, once per sampling interval. A nil fn removes the
+// listener.
+func (p *Probe) SetSampleListener(fn func(IntervalSample)) { p.listener = fn }
+
+// publish refreshes the atomic snapshot and notifies the listener. Called by
+// RecordSample with the interval just appended.
+func (p *Probe) publish(cum Sample, last IntervalSample) {
+	p.published.Store(&Snapshot{Cum: cum, Seq: len(p.samples), Last: last})
+	if p.listener != nil {
+		p.listener(last)
+	}
+}
+
+// resetPublished clears the published snapshot (warmup/measure boundary).
+func (p *Probe) resetPublished() {
+	p.published.Store(nil)
+}

@@ -16,7 +16,11 @@
 // JSON/CSV results.
 package telemetry
 
-import "morrigan/internal/arch"
+import (
+	"sync/atomic"
+
+	"morrigan/internal/arch"
+)
 
 // DefaultInterval is the sampling period, in retired instructions, used when
 // Config.Interval is zero.
@@ -62,6 +66,11 @@ type Sample struct {
 	ITLBMisses    uint64
 	ISTLBAccesses uint64
 	ISTLBMisses   uint64
+	// DSTLBAccesses and DSTLBMisses are carried for cross-goroutine
+	// observers (the observability server's dSTLB MPKI gauge); they are not
+	// differenced into IntervalSamples, so the JSONL schema is unchanged.
+	DSTLBAccesses uint64
+	DSTLBMisses   uint64
 	PBHits        uint64
 	PrefIssued    uint64
 	PrefDiscarded uint64
@@ -146,6 +155,11 @@ type Probe struct {
 
 	pending   map[pendingKey]arch.Cycle
 	untracked uint64
+
+	// published is the cross-goroutine snapshot cell (see snapshot.go);
+	// listener, when set, observes every recorded interval sample.
+	published atomic.Pointer[Snapshot]
+	listener  func(IntervalSample)
 }
 
 // NewProbe builds a probe from cfg.
@@ -187,6 +201,7 @@ func (p *Probe) Reset() {
 		delete(p.pending, k)
 	}
 	p.untracked = 0
+	p.resetPublished()
 }
 
 // RecordSample closes one sampling interval: cum holds the simulator's
@@ -231,6 +246,7 @@ func (p *Probe) RecordSample(cum Sample) {
 	p.samples = append(p.samples, d)
 	p.base = cum
 	p.prev = p.cur
+	p.publish(cum, d)
 }
 
 // Finish closes the trailing partial interval at the end of measurement.

@@ -1,0 +1,42 @@
+package morrigan
+
+import (
+	"morrigan/internal/obs"
+	"morrigan/internal/runner"
+)
+
+// Live campaign observability (see internal/obs). An ObservabilityServer is a
+// CampaignObserver: attach it to CampaignOptions.Observer (or
+// ExperimentOptions.Observer) and it serves live Prometheus metrics, campaign
+// status JSON, a Server-Sent-Events stream of telemetry samples, and pprof —
+// all without perturbing results.
+type (
+	// CampaignObserver receives campaign lifecycle notifications:
+	// CampaignStarted, then per job JobStarted (on the worker goroutine,
+	// before the simulation constructs) and JobFinished. Implementations
+	// must be safe for concurrent use across workers.
+	CampaignObserver = runner.Observer
+	// ObservabilityServer is the HTTP observability server. Construct with
+	// NewObservabilityServer, attach as a CampaignObserver, then either
+	// Start(addr) a real listener or mount Handler() yourself.
+	ObservabilityServer = obs.Server
+)
+
+// NewObservabilityServer returns an unstarted observability server.
+func NewObservabilityServer() *ObservabilityServer { return obs.New() }
+
+// Campaign throughput summaries (the BENCH_*.json artifact; see
+// internal/runner).
+type (
+	// CampaignBench is a campaign's simulation-throughput summary.
+	CampaignBench = runner.Bench
+	// CampaignBenchEntry is one job's line in the summary.
+	CampaignBenchEntry = runner.BenchEntry
+)
+
+// CampaignBenchSchemaVersion identifies the BENCH_*.json schema.
+const CampaignBenchSchemaVersion = runner.BenchSchemaVersion
+
+// NewCampaignBench summarises a campaign's records into the throughput
+// artifact written as BENCH_*.json.
+func NewCampaignBench(c Campaign) CampaignBench { return runner.NewBench(c) }
