@@ -9,6 +9,7 @@
 //	experiments -exp all -full -out results.txt
 //	experiments -exp all -quick -jobs 8  # fan out over 8 workers
 //	experiments -exp fig15 -json results.json -csv results.csv
+//	experiments -exp fig9,fig15 -corpus corpus/  # share materialised traces across configs
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		telem    = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
 		serve    = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
 		benchOut = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
+		corpus   = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
+		corpusMB = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
 		verbose  = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -79,6 +82,19 @@ func main() {
 	if *telem != "" {
 		opt.Telemetry = &morrigan.CampaignTelemetry{Dir: *telem}
 	}
+	var store *morrigan.CorpusStore
+	if *corpus != "" {
+		var err error
+		store, err = morrigan.OpenCorpusStore(morrigan.CorpusOptions{
+			Dir:        *corpus,
+			CacheBytes: *corpusMB << 20,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer store.Close()
+		opt.Corpus = store
+	}
 	if *serve != "" {
 		srv := morrigan.NewObservabilityServer()
 		addr, err := srv.Start(*serve)
@@ -111,18 +127,18 @@ func main() {
 		start := time.Now()
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
-			emitRecords(rec, *jsonOut, *csvOut, *benchOut)
+			emitRecords(rec, *jsonOut, *csvOut, *benchOut, store)
 			fatal("%s: %v", id, err)
 		}
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	emitRecords(rec, *jsonOut, *csvOut, *benchOut)
+	emitRecords(rec, *jsonOut, *csvOut, *benchOut, store)
 }
 
 // emitRecords writes whatever the recorder has collected so far; on a partial
 // (failed or interrupted) campaign that is every completed simulation.
-func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut string) {
+func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut string, store *morrigan.CorpusStore) {
 	if rec == nil {
 		return
 	}
@@ -148,6 +164,17 @@ func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut strin
 	write(csvOut, c.WriteCSV)
 	if benchOut != "" {
 		b := morrigan.NewCampaignBench(c)
+		if store != nil {
+			cs := store.CacheStats()
+			b.TraceSupply = &morrigan.CampaignTraceSupply{
+				CorpusDir:      store.Dir(),
+				CacheGets:      cs.Gets,
+				CacheHits:      cs.Hits,
+				CacheDecodes:   cs.Decodes,
+				CacheEvictions: cs.Evictions,
+				ResidentBytes:  cs.ResidentBytes,
+			}
+		}
 		write(benchOut, b.WriteJSON)
 	}
 }

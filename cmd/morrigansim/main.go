@@ -10,6 +10,7 @@
 //	morrigansim -workload cassandra -icache fnlmma -icache-tlb-cost
 //	morrigansim -trace trace.mgt -prefetcher sp
 //	morrigansim -workload qmm-srv-01,qmm-srv-02,qmm-srv-03 -jobs 3 -json -
+//	morrigansim -workload qmm-srv-01 -corpus corpus/ -prefetcher morrigan
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 		events    = flag.Int("events", 0, "telemetry event-ring capacity (0 = default 4096, negative disables the event trace)")
 		serve     = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
 		benchOut  = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
+		corpus    = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
+		corpusMB  = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
@@ -119,7 +122,20 @@ func main() {
 	}
 	mkConfig() // validate the prefetcher names before launching anything
 
-	cjobs := buildJobs(*workload, *traceFile, *smt, mkConfig, *warmup, *measure)
+	var store *morrigan.CorpusStore
+	if *corpus != "" {
+		var err error
+		store, err = morrigan.OpenCorpusStore(morrigan.CorpusOptions{
+			Dir:        *corpus,
+			CacheBytes: *corpusMB << 20,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer store.Close()
+	}
+
+	cjobs := buildJobs(*workload, *traceFile, *smt, mkConfig, *warmup, *measure, store)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -160,7 +176,7 @@ func main() {
 	}
 	writeCampaign(*jsonOut, results, (*morrigan.Campaign).WriteJSON)
 	writeCampaign(*csvOut, results, (*morrigan.Campaign).WriteCSV)
-	writeBench(*benchOut, results)
+	writeBench(*benchOut, results, store)
 	if err != nil {
 		os.Exit(1)
 	}
@@ -168,7 +184,7 @@ func main() {
 
 // writeBench stamps the campaign's throughput summary (the BENCH_*.json
 // trajectory artifact) to path ('-' for stdout); an empty path is a no-op.
-func writeBench(path string, results []morrigan.CampaignResult) {
+func writeBench(path string, results []morrigan.CampaignResult, store *morrigan.CorpusStore) {
 	if path == "" {
 		return
 	}
@@ -177,6 +193,17 @@ func writeBench(path string, results []morrigan.CampaignResult) {
 		c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
 	}
 	b := morrigan.NewCampaignBench(c)
+	if store != nil {
+		cs := store.CacheStats()
+		b.TraceSupply = &morrigan.CampaignTraceSupply{
+			CorpusDir:      store.Dir(),
+			CacheGets:      cs.Gets,
+			CacheHits:      cs.Hits,
+			CacheDecodes:   cs.Decodes,
+			CacheEvictions: cs.Evictions,
+			ResidentBytes:  cs.ResidentBytes,
+		}
+	}
 	var w io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -217,7 +244,20 @@ func writeCampaign(path string, results []morrigan.CampaignResult, emit func(*mo
 
 // buildJobs enumerates one campaign job per requested workload (or one for
 // the trace file), optionally colocating the -smt workload on every run.
-func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config, warmup, measure uint64) []morrigan.CampaignJob {
+func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config, warmup, measure uint64, store *morrigan.CorpusStore) []morrigan.CampaignJob {
+	// workloadReader builds one workload's stream: a corpus reader when
+	// -corpus is set (materialising the container on first use), else the
+	// live generator.
+	workloadReader := func(w morrigan.Workload) morrigan.TraceReader {
+		if store == nil {
+			return w.NewReader()
+		}
+		c, err := store.Materialize(w, warmup+measure)
+		if err != nil {
+			fatal("corpus %s: %v", w.Name, err)
+		}
+		return c.NewReader()
+	}
 	smtSpec := morrigan.Workload{}
 	if smt != "" {
 		w, ok := morrigan.WorkloadByName(smt)
@@ -230,7 +270,7 @@ func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config,
 		return func() []morrigan.ThreadSpec {
 			out := []morrigan.ThreadSpec{{Reader: mk()}}
 			if smt != "" {
-				out = append(out, morrigan.ThreadSpec{Reader: smtSpec.NewReader(), VAOffset: 1 << 40})
+				out = append(out, morrigan.ThreadSpec{Reader: workloadReader(smtSpec), VAOffset: 1 << 40})
 			}
 			return out
 		}
@@ -271,7 +311,7 @@ func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config,
 			Workload: label(name),
 			Warmup:   warmup, Measure: measure,
 			NewConfig:  mkConfig,
-			NewThreads: threads(w.NewReader),
+			NewThreads: threads(func() morrigan.TraceReader { return workloadReader(w) }),
 		})
 	}
 	return jobs

@@ -26,6 +26,8 @@ import (
 	"morrigan/internal/arch"
 	"morrigan/internal/runner"
 	"morrigan/internal/sim"
+	"morrigan/internal/trace"
+	"morrigan/internal/tracestore"
 	"morrigan/internal/workloads"
 )
 
@@ -59,6 +61,13 @@ type Options struct {
 	// every campaign an experiment launches (see internal/obs for the HTTP
 	// observability server built on it). Rendered tables are unaffected.
 	Observer runner.Observer
+	// Corpus, when non-nil, feeds simulations from materialised trace
+	// containers instead of stepping generators live: each workload is built
+	// once (on first use), and concurrent jobs on the same workload share
+	// decoded chunks through the store's cache. Stats are bit-identical to
+	// generator-backed runs — the container stores the exact generator
+	// output — so rendered tables do not change.
+	Corpus *tracestore.Store
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -137,10 +146,10 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 			Measure:    o.Measure,
 			NewConfig:  j.mk,
 			NewThreads: func() []sim.ThreadSpec {
-				threads := []sim.ThreadSpec{{Reader: j.specs[0].NewReader()}}
+				threads := []sim.ThreadSpec{{Reader: o.reader(j.specs[0])}}
 				if len(j.specs) == 2 {
 					threads = append(threads, sim.ThreadSpec{
-						Reader: j.specs[1].NewReader(), VAOffset: 1 << 40,
+						Reader: o.reader(j.specs[1]), VAOffset: 1 << 40,
 					})
 				}
 				return threads
@@ -164,6 +173,23 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		sts[i] = results[i].Stats
 	}
 	return sts, nil
+}
+
+// reader builds one workload's instruction stream: a pipelined corpus reader
+// when Options.Corpus is set, else the live generator. It runs inside
+// NewThreads on the runner's worker goroutine, where a panic is isolated
+// into that job's Result instead of aborting the campaign — so a failed
+// materialisation fails the job, matching how every other per-job setup
+// error is reported.
+func (o Options) reader(w workloads.Spec) trace.Reader {
+	if o.Corpus == nil {
+		return w.NewReader()
+	}
+	c, err := o.Corpus.Materialize(w, o.Warmup+o.Measure)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: materialising corpus for %s: %v", w.Name, err))
+	}
+	return c.NewReader()
 }
 
 // missStreams runs one baseline simulation per spec, capturing each run's

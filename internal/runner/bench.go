@@ -38,6 +38,25 @@ type Bench struct {
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	// Entries break throughput down per job, in deterministic key order.
 	Entries []BenchEntry `json:"entries"`
+	// TraceSupply, when present, records how job instruction streams were fed
+	// (corpus store + shared decode-cache accounting instead of live
+	// generation). Set by the caller after the campaign; nil for
+	// generator-backed runs.
+	TraceSupply *TraceSupply `json:"trace_supply,omitempty"`
+}
+
+// TraceSupply summarises a campaign's corpus-backed trace supply: where the
+// containers live and what the shared decoded-chunk LRU did across all jobs.
+// CacheDecodes < CacheGets is the amortisation win — chunks decoded once and
+// served to multiple jobs.
+type TraceSupply struct {
+	CorpusDir      string `json:"corpus_dir"`
+	CacheGets      uint64 `json:"cache_gets"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheDecodes   uint64 `json:"cache_decodes"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// ResidentBytes is the decoded-record memory still cached at snapshot time.
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // BenchEntry is one job's line in the throughput summary.

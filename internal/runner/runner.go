@@ -21,6 +21,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -279,8 +280,10 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 			opt.Observer.JobStarted(i, j, probe)
 		}
 	}
+	threads := j.NewThreads()
+	defer closeThreadReaders(threads)
 	var err error
-	s, err = sim.New(cfg, j.NewThreads())
+	s, err = sim.New(cfg, threads)
 	if err != nil {
 		s = nil
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
@@ -293,6 +296,19 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 	}
 	res.Stats = st
 	return res
+}
+
+// closeThreadReaders releases job-owned trace readers that hold external
+// resources: corpus readers pin decoded chunks in the shared cache until
+// closed, so a cancelled or panicked job must still run this or the pinned
+// chunks would be unevictable for the rest of the campaign. Close errors are
+// ignored — the stream has already been consumed or abandoned.
+func closeThreadReaders(threads []sim.ThreadSpec) {
+	for _, ts := range threads {
+		if c, ok := ts.Reader.(io.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 // heapAlloc samples the process's live heap. ReadMemStats costs a

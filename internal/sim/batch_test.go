@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"morrigan/internal/trace"
+	"morrigan/internal/workloads"
+)
+
+// plainReader hides a reader's NextBatch so the simulator takes the
+// record-at-a-time path.
+type plainReader struct{ r trace.Reader }
+
+func (p plainReader) Next(rec *trace.Record) error { return p.r.Next(rec) }
+
+// TestBatchPathMatchesPlain runs the same record stream through the batch
+// and per-record supply paths and requires bit-identical Stats: the batch
+// wiring is a pure throughput optimisation.
+func TestBatchPathMatchesPlain(t *testing.T) {
+	const warmup, measure = 20_000, 80_000
+	recs, err := trace.Slice(testWorkload(), warmup+measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(r trace.Reader) Stats {
+		s := mustNew(t, DefaultConfig(), []ThreadSpec{{Reader: r}})
+		st, err := s.Run(warmup, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	batch := run(&trace.SliceReader{Records: recs})
+	plain := run(plainReader{&trace.SliceReader{Records: recs}})
+	if batch != plain {
+		t.Fatalf("batch path diverged from plain path:\nbatch: %+v\nplain: %+v", batch, plain)
+	}
+}
+
+// TestBatchPathSMT is the two-thread variant: both threads on the batch
+// path must equal both on the plain path.
+func TestBatchPathSMT(t *testing.T) {
+	const warmup, measure = 10_000, 40_000
+	a, err := trace.Slice(workloads.QMM()[1].NewReader(), warmup+measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.Slice(workloads.QMM()[2].NewReader(), warmup+measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(wrap func(trace.Reader) trace.Reader) Stats {
+		s := mustNew(t, DefaultConfig(), []ThreadSpec{
+			{Reader: wrap(&trace.SliceReader{Records: a})},
+			{Reader: wrap(&trace.SliceReader{Records: b}), VAOffset: 1 << 40},
+		})
+		st, err := s.Run(warmup, measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	batch := run(func(r trace.Reader) trace.Reader { return r })
+	plain := run(func(r trace.Reader) trace.Reader { return plainReader{r} })
+	if batch != plain {
+		t.Fatalf("SMT batch path diverged from plain path:\nbatch: %+v\nplain: %+v", batch, plain)
+	}
+}

@@ -21,16 +21,50 @@ import (
 // (Section 3.5's FNL+MMA+TLB configuration).
 type icacheToken struct{}
 
+// batchSize is the per-thread record buffer filled from a trace.BatchReader:
+// one interface call supplies this many instructions to the hot loop.
+const batchSize = 512
+
 // thread is the per-hardware-thread front-end state.
 type thread struct {
 	reader trace.Reader
 	off    arch.VAddr
+
+	// batch, when non-nil, is the reader's bulk interface; buf[bpos:blen]
+	// holds fetched-ahead records. The consumed record sequence is identical
+	// to calling reader.Next per instruction, so batched and unbatched runs
+	// produce bit-identical stats.
+	batch trace.BatchReader
+	buf   []trace.Record
+	bpos  int
+	blen  int
 
 	curLine uint64 // virtual line last fetched
 	curVPN  arch.VPN
 	curPFN  arch.PFN
 	haveVPN bool
 	done    bool
+}
+
+// next fetches the thread's next record, through the batch buffer when the
+// reader supports bulk reads.
+func (th *thread) next(rec *trace.Record) error {
+	if th.batch == nil {
+		return th.reader.Next(rec)
+	}
+	if th.bpos >= th.blen {
+		n, err := th.batch.NextBatch(th.buf)
+		if n == 0 {
+			if err == nil {
+				err = io.EOF // a conforming BatchReader never does this
+			}
+			return err
+		}
+		th.blen, th.bpos = n, 0
+	}
+	*rec = th.buf[th.bpos]
+	th.bpos++
+	return nil
 }
 
 // Simulator is one simulated machine executing one or two threads.
@@ -144,7 +178,12 @@ func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 		if ts.Reader == nil {
 			return nil, fmt.Errorf("sim: thread with nil reader")
 		}
-		s.threads = append(s.threads, &thread{reader: ts.Reader, off: ts.VAOffset})
+		th := &thread{reader: ts.Reader, off: ts.VAOffset}
+		if br, ok := ts.Reader.(trace.BatchReader); ok {
+			th.batch = br
+			th.buf = make([]trace.Record, batchSize)
+		}
+		s.threads = append(s.threads, th)
 	}
 	if cfg.HugeDataPages {
 		// Map each thread's synthetic data region with 2 MB pages. Code
@@ -234,7 +273,7 @@ func (s *Simulator) run(ctx context.Context, n uint64) error {
 			continue
 		}
 		for b := 0; b < s.cfg.SMTBlock && executed < n; b++ {
-			err := th.reader.Next(&rec)
+			err := th.next(&rec)
 			if err == io.EOF {
 				th.done = true
 				break

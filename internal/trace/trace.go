@@ -42,11 +42,29 @@ type Reader interface {
 	Next(rec *Record) error
 }
 
+// BatchReader is a Reader that can deliver many records per call, letting
+// hot consumers (the simulator's instruction loop) amortise the per-record
+// interface call. NextBatch copies up to len(dst) records into dst and
+// returns how many; it never mixes records with an error — a call returns
+// n > 0 with a nil error, or 0 with io.EOF (stream exhausted) or a real
+// error. Callers must tolerate short (n < len(dst)) non-final batches.
+type BatchReader interface {
+	Reader
+	NextBatch(dst []Record) (int, error)
+}
+
 // ErrCorrupt reports a malformed trace file.
 var ErrCorrupt = errors.New("trace: corrupt trace file")
 
-// Limit wraps r so that it yields at most n records.
-func Limit(r Reader, n uint64) Reader { return &limitReader{r: r, left: n} }
+// Limit wraps r so that it yields at most n records. When r is a
+// BatchReader the returned Reader is one too, so batching survives the wrap.
+func Limit(r Reader, n uint64) Reader {
+	l := limitReader{r: r, left: n}
+	if br, ok := r.(BatchReader); ok {
+		return &limitBatchReader{limitReader: l, br: br}
+	}
+	return &l
+}
 
 type limitReader struct {
 	r    Reader
@@ -59,6 +77,23 @@ func (l *limitReader) Next(rec *Record) error {
 	}
 	l.left--
 	return l.r.Next(rec)
+}
+
+type limitBatchReader struct {
+	limitReader
+	br BatchReader
+}
+
+func (l *limitBatchReader) NextBatch(dst []Record) (int, error) {
+	if l.left == 0 {
+		return 0, io.EOF
+	}
+	if uint64(len(dst)) > l.left {
+		dst = dst[:l.left]
+	}
+	n, err := l.br.NextBatch(dst)
+	l.left -= uint64(n)
+	return n, err
 }
 
 // Slice materialises up to n records from r, primarily for tests and
@@ -93,6 +128,16 @@ func (s *SliceReader) Next(rec *Record) error {
 	*rec = s.Records[s.pos]
 	s.pos++
 	return nil
+}
+
+// NextBatch implements BatchReader.
+func (s *SliceReader) NextBatch(dst []Record) (int, error) {
+	if s.pos >= len(s.Records) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.Records[s.pos:])
+	s.pos += n
+	return n, nil
 }
 
 // Reset rewinds the reader to the beginning of the slice.

@@ -1,0 +1,175 @@
+package tracestore
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"morrigan/internal/trace"
+)
+
+// Corpus is one open container: the parsed index plus the byte source the
+// chunk frames are fetched from. A Corpus is safe for concurrent use — every
+// method reads immutable geometry and fetches frames with positioned reads —
+// so one Corpus is shared by every job streaming the workload.
+type Corpus struct {
+	id     uint64
+	src    io.ReaderAt
+	closer io.Closer
+
+	workload     string
+	chunkRecords int
+	records      uint64
+	chunks       []chunkInfo
+
+	// cache, when non-nil, interposes the shared decoded-chunk LRU between
+	// readers and decodeChunk (set by Store; standalone opens decode
+	// privately).
+	cache *Cache
+}
+
+// OpenFile opens a standalone corpus container (no store, no shared cache),
+// primarily for inspection tools.
+func OpenFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c, err := openCorpus(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	c.closer = f
+	return c, nil
+}
+
+// OpenBytes opens a corpus container held in memory (tests and fuzzing).
+func OpenBytes(data []byte) (*Corpus, error) {
+	return openCorpus(bytes.NewReader(data), int64(len(data)))
+}
+
+func openCorpus(src io.ReaderAt, size int64) (*Corpus, error) {
+	chunkRecords, total, chunks, err := parseContainer(src, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{src: src, chunkRecords: chunkRecords, records: total, chunks: chunks}, nil
+}
+
+// Records returns the total record count.
+func (c *Corpus) Records() uint64 { return c.records }
+
+// Chunks returns the chunk count.
+func (c *Corpus) Chunks() int { return len(c.chunks) }
+
+// ChunkRecords returns the fixed per-chunk record count.
+func (c *Corpus) ChunkRecords() int { return c.chunkRecords }
+
+// Workload returns the workload name the store recorded for this corpus
+// (empty for standalone opens).
+func (c *Corpus) Workload() string { return c.workload }
+
+// Chunk describes chunk i.
+func (c *Corpus) Chunk(i int) ChunkInfo {
+	ci := c.chunks[i]
+	return ChunkInfo{
+		Offset:          ci.offset,
+		Records:         ci.records,
+		CompressedLen:   ci.clen,
+		UncompressedLen: ci.ulen,
+		CRC32C:          ci.crc,
+	}
+}
+
+// Close releases the underlying file, if the corpus owns one. Readers must
+// be drained or closed first.
+func (c *Corpus) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// readFrame fetches chunk i's compressed frame.
+func (c *Corpus) readFrame(i int) ([]byte, error) {
+	ci := c.chunks[i]
+	frame := make([]byte, ci.clen)
+	if _, err := c.src.ReadAt(frame, ci.offset); err != nil {
+		return nil, corrupt("chunk %d: reading frame: %v", i, err)
+	}
+	return frame, nil
+}
+
+// decode fetches and decodes chunk i, bypassing any cache.
+func (c *Corpus) decode(i int) ([]trace.Record, error) {
+	frame, err := c.readFrame(i)
+	if err != nil {
+		return nil, err
+	}
+	ci := c.chunks[i]
+	recs, err := decodeChunk(frame, ci.records, ci.ulen, make([]trace.Record, 0, decodeCap(ci.records)))
+	if err != nil {
+		return nil, fmt.Errorf("chunk %d: %w", i, err)
+	}
+	return recs, nil
+}
+
+// decodeCap bounds the decode buffer's preallocation: the index's record
+// count is untrusted until the frame actually produces that many records, so
+// a corrupt index may only demand a modest upfront allocation — append
+// growth covers legitimately huge chunks.
+func decodeCap(records uint64) uint64 {
+	const max = 1 << 18
+	if records > max {
+		return max
+	}
+	return records
+}
+
+// acquire returns chunk i's decoded records and a release function, going
+// through the shared cache when the corpus has one.
+func (c *Corpus) acquire(i int) ([]trace.Record, func(), error) {
+	if c.cache != nil {
+		return c.cache.acquire(c, i)
+	}
+	recs, err := c.decode(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return recs, func() {}, nil
+}
+
+// VerifyChunk checks chunk i's frame checksum and decodes it, verifying the
+// record count and uncompressed length against the index.
+func (c *Corpus) VerifyChunk(i int) error {
+	frame, err := c.readFrame(i)
+	if err != nil {
+		return err
+	}
+	ci := c.chunks[i]
+	if got := crc32.Checksum(frame, castagnoli); got != ci.crc {
+		return corrupt("chunk %d: frame checksum %#08x, index says %#08x", i, got, ci.crc)
+	}
+	if _, err := decodeChunk(frame, ci.records, ci.ulen, make([]trace.Record, 0, decodeCap(ci.records))); err != nil {
+		return fmt.Errorf("chunk %d: %w", i, err)
+	}
+	return nil
+}
+
+// Verify checks every chunk against the index (see VerifyChunk).
+func (c *Corpus) Verify() error {
+	for i := range c.chunks {
+		if err := c.VerifyChunk(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"morrigan/internal/trace"
+	"morrigan/internal/workloads"
+)
+
+// genRecords draws n deterministic records from a real workload generator so
+// containers carry realistic delta/address distributions.
+func genRecords(t testing.TB, n int) []trace.Record {
+	t.Helper()
+	recs, err := trace.Slice(workloads.QMM()[0].NewReader(), n)
+	if err != nil {
+		t.Fatalf("generating %d records: %v", n, err)
+	}
+	if len(recs) != n {
+		t.Fatalf("generated %d records, want %d", len(recs), n)
+	}
+	return recs
+}
+
+// buildContainer materialises recs into an in-memory container.
+func buildContainer(t testing.TB, recs []trace.Record, chunkRecords int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	info, err := Build(&buf, &trace.SliceReader{Records: recs}, uint64(len(recs)), BuildOptions{ChunkRecords: chunkRecords})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if info.Records != uint64(len(recs)) {
+		t.Fatalf("Build reported %d records, want %d", info.Records, len(recs))
+	}
+	return buf.Bytes()
+}
+
+// TestBuildRoundTrip checks that a container whose record count does not
+// divide the chunk size (short last chunk) replays bit-identically through
+// both the record-at-a-time and batch read paths.
+func TestBuildRoundTrip(t *testing.T) {
+	const chunk = 1024
+	recs := genRecords(t, 3*chunk+500)
+	data := buildContainer(t, recs, chunk)
+
+	c, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	if c.Records() != uint64(len(recs)) {
+		t.Fatalf("Records() = %d, want %d", c.Records(), len(recs))
+	}
+	if c.Chunks() != 4 || c.ChunkRecords() != chunk {
+		t.Fatalf("geometry = %d chunks of %d, want 4 of %d", c.Chunks(), c.ChunkRecords(), chunk)
+	}
+	if last := c.Chunk(3); last.Records != 500 {
+		t.Fatalf("last chunk holds %d records, want 500", last.Records)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	r := c.NewReader()
+	defer r.Close()
+	var rec trace.Record
+	for i := range recs {
+		if err := r.Next(&rec); err != nil {
+			t.Fatalf("Next at record %d: %v", i, err)
+		}
+		if rec != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+	if err := r.Next(&rec); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+
+	br := c.NewReader()
+	defer br.Close()
+	got := make([]trace.Record, 0, len(recs))
+	buf := make([]trace.Record, 700) // does not divide the chunk size either
+	for {
+		n, err := br.NextBatch(buf)
+		if n > 0 && err != nil {
+			t.Fatalf("NextBatch mixed %d records with error %v", n, err)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("batch path read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("batch record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestBuildEarlyEOF checks that a source shorter than the requested record
+// count yields a correspondingly shorter (still valid) container.
+func TestBuildEarlyEOF(t *testing.T) {
+	recs := genRecords(t, 300)
+	var buf bytes.Buffer
+	info, err := Build(&buf, &trace.SliceReader{Records: recs}, 10_000, BuildOptions{ChunkRecords: 128})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if info.Records != 300 || info.Chunks != 3 {
+		t.Fatalf("info = %d records in %d chunks, want 300 in 3", info.Records, info.Chunks)
+	}
+	c, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestBuildEmpty checks the zero-record container round-trips.
+func TestBuildEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Build(&buf, &trace.SliceReader{}, 0, BuildOptions{ChunkRecords: 64}); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c, err := OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	r := c.NewReader()
+	defer r.Close()
+	var rec trace.Record
+	if err := r.Next(&rec); err != io.EOF {
+		t.Fatalf("Next on empty corpus = %v, want io.EOF", err)
+	}
+}
+
+// TestReaderClose checks that a closed reader stops producing records and
+// that closing twice is harmless.
+func TestReaderClose(t *testing.T) {
+	recs := genRecords(t, 2000)
+	c, err := OpenBytes(buildContainer(t, recs, 256))
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	r := c.NewReader()
+	var rec trace.Record
+	for i := 0; i < 10; i++ {
+		if err := r.Next(&rec); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Next(&rec); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestLimitPreservesBatching checks trace.Limit keeps the corpus reader's
+// batch path and cuts the stream at exactly n records.
+func TestLimitPreservesBatching(t *testing.T) {
+	recs := genRecords(t, 1000)
+	c, err := OpenBytes(buildContainer(t, recs, 256))
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	r := c.NewReader()
+	defer r.Close()
+	limited := trace.Limit(r, 600)
+	br, ok := limited.(trace.BatchReader)
+	if !ok {
+		t.Fatalf("Limit dropped the BatchReader interface")
+	}
+	got := 0
+	buf := make([]trace.Record, 128)
+	for {
+		n, err := br.NextBatch(buf)
+		got += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+	}
+	if got != 600 {
+		t.Fatalf("limited batch read %d records, want 600", got)
+	}
+}
+
+// TestCorruptContainer checks targeted corruptions fail with ErrCorrupt at
+// open, verify, or read time — never a panic.
+func TestCorruptContainer(t *testing.T) {
+	recs := genRecords(t, 700)
+	data := buildContainer(t, recs, 256)
+
+	mustFailOpen := func(name string, mutate func([]byte)) {
+		t.Helper()
+		cp := append([]byte(nil), data...)
+		mutate(cp)
+		if _, err := OpenBytes(cp); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: OpenBytes error = %v, want ErrCorrupt", name, err)
+		}
+	}
+	mustFailOpen("header magic", func(b []byte) { b[0] ^= 0xff })
+	mustFailOpen("version", func(b []byte) { b[4] = 99 })
+	mustFailOpen("codec", func(b []byte) { b[5] = 7 })
+	mustFailOpen("chunk size zero", func(b []byte) { b[6], b[7], b[8], b[9] = 0, 0, 0, 0 })
+	mustFailOpen("tail magic", func(b []byte) { b[len(b)-1] ^= 0xff })
+	mustFailOpen("index crc", func(b []byte) { b[len(b)-8] ^= 0xff })
+	mustFailOpen("total records", func(b []byte) { b[len(b)-16] ^= 0xff })
+
+	// Every truncation must fail cleanly: either the tail is gone or the
+	// index offset no longer matches the bytes.
+	for cut := 1; cut <= len(data); cut += 97 {
+		if _, err := OpenBytes(data[:len(data)-cut]); err == nil {
+			t.Fatalf("truncation by %d bytes opened successfully", cut)
+		}
+	}
+
+	// A damaged frame passes open (only the index is validated there) but
+	// fails verification and reading.
+	cp := append([]byte(nil), data...)
+	for i := headerSize; i < headerSize+32; i++ {
+		cp[i] = 0
+	}
+	c, err := OpenBytes(cp)
+	if err != nil {
+		t.Fatalf("OpenBytes with damaged frame: %v", err)
+	}
+	if err := c.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify error = %v, want ErrCorrupt", err)
+	}
+	r := c.NewReader()
+	defer r.Close()
+	var rec trace.Record
+	for i := 0; ; i++ {
+		if err := r.Next(&rec); err != nil {
+			if err == io.EOF {
+				t.Fatalf("damaged frame read to EOF without error")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("read error = %v, want ErrCorrupt", err)
+			}
+			break
+		}
+		if i > len(recs) {
+			t.Fatalf("read more records than the container holds")
+		}
+	}
+}

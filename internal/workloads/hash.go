@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// paramsHashVersion is folded into the hash so a deliberate change to the
+// canonical encoding (or to the set of hashed fields) invalidates every
+// existing corpus instead of silently colliding with stale ones.
+const paramsHashVersion = "morrigan/trace.ServerParams/v1"
+
+// Hash returns a stable, platform-independent identity for the workload's
+// generator parameters: the SHA-256 of a canonical fixed-order encoding of
+// every trace.ServerParams field, as lowercase hex.
+//
+// It is the corpus-invalidation key of internal/tracestore: two specs with
+// identical parameters (names aside — the name does not influence the
+// instruction stream) share a materialised corpus, and any parameter change
+// produces a new key, orphaning the stale container. The encoding is part of
+// the on-disk contract — TestSpecHashGolden pins known values so an
+// accidental change to this function (or a field addition that forgets to
+// extend it) is caught in review. When the encoding must change, bump
+// paramsHashVersion.
+func (s Spec) Hash() string {
+	p := s.Params
+	h := sha256.New()
+	h.Write([]byte(paramsHashVersion))
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int) { wu(uint64(int64(v))) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+
+	wu(uint64(p.Seed))
+	wi(p.CodePages)
+	wi(p.DataPages)
+	wf(p.HotFrac)
+	wf(p.WarmFrac)
+	wf(p.PHot)
+	wf(p.PWarm)
+	wi(p.RoutineLenMin)
+	wi(p.RoutineLenMax)
+	wi(p.RunLenMin)
+	wi(p.RunLenMax)
+	wi(p.EntryPoints)
+	wf(p.SeqFrac)
+	wf(p.SmallDeltaFrac)
+	wf(p.BranchSkipFrac)
+	for _, w := range p.SuccWeights {
+		wf(w)
+	}
+	wf(p.RandomCallFrac)
+	wf(p.LoadFrac)
+	wf(p.StoreFrac)
+	wf(p.DataZipfS)
+	wf(p.DataStreamFrac)
+	wu(p.PhaseLen)
+	wf(p.PhaseShuffleFrac)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashedParamsFieldCount is the number of trace.ServerParams fields folded
+// into Hash (SuccWeights counts once); the golden test checks it against the
+// struct via reflection so a new field cannot be added without extending the
+// canonical encoding.
+const hashedParamsFieldCount = 23

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"morrigan/internal/trace"
+)
+
+// goldenParams pins one fully populated parameter set for the hash golden.
+func goldenParams() trace.ServerParams {
+	return trace.ServerParams{
+		Seed:             42,
+		CodePages:        256,
+		DataPages:        2048,
+		HotFrac:          0.15,
+		WarmFrac:         0.35,
+		PHot:             0.7,
+		PWarm:            0.25,
+		RoutineLenMin:    2,
+		RoutineLenMax:    10,
+		RunLenMin:        8,
+		RunLenMax:        48,
+		EntryPoints:      4,
+		SeqFrac:          0.1,
+		SmallDeltaFrac:   0.2,
+		BranchSkipFrac:   0.15,
+		SuccWeights:      [5]float64{0.35, 0.20, 0.20, 0.18, 0.07},
+		RandomCallFrac:   0.15,
+		LoadFrac:         0.25,
+		StoreFrac:        0.1,
+		DataZipfS:        1.3,
+		DataStreamFrac:   0.2,
+		PhaseLen:         50_000,
+		PhaseShuffleFrac: 0.1,
+	}
+}
+
+// TestSpecHashGolden pins the canonical encoding: these values are part of
+// the corpus on-disk contract. If this test fails, either the encoding
+// changed by accident (fix the code) or deliberately (bump
+// paramsHashVersion and update the goldens — existing corpora rebuild).
+func TestSpecHashGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{
+			name: "golden-params",
+			spec: Spec{Name: "golden", Params: goldenParams()},
+			want: "04ff6d969039a2d791d9685063d55a482b25c652b631059424c948f10d3070cf",
+		},
+		{
+			name: "zero-params",
+			spec: Spec{Name: "zero"},
+			want: "61f1cd87d4075de7bcb6c8d60d745b22c84bc366187e0c7fcbee024e9c0adfa0",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Hash(); got != tc.want {
+			t.Errorf("%s: Hash() = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSpecHashFieldCount fails when trace.ServerParams grows a field that
+// Hash does not fold in, which would let two different workloads share a
+// corpus.
+func TestSpecHashFieldCount(t *testing.T) {
+	got := reflect.TypeOf(trace.ServerParams{}).NumField()
+	if got != hashedParamsFieldCount {
+		t.Fatalf("trace.ServerParams has %d fields, Hash encodes %d — extend Spec.Hash and bump paramsHashVersion",
+			got, hashedParamsFieldCount)
+	}
+}
+
+// TestSpecHashSensitivity checks every parameter influences the hash and the
+// display name does not.
+func TestSpecHashSensitivity(t *testing.T) {
+	base := Spec{Name: "base", Params: goldenParams()}
+	renamed := base
+	renamed.Name = "other"
+	if renamed.Hash() != base.Hash() {
+		t.Fatalf("name change altered the hash")
+	}
+	mutations := map[string]func(*trace.ServerParams){
+		"Seed":             func(p *trace.ServerParams) { p.Seed++ },
+		"CodePages":        func(p *trace.ServerParams) { p.CodePages++ },
+		"DataPages":        func(p *trace.ServerParams) { p.DataPages++ },
+		"HotFrac":          func(p *trace.ServerParams) { p.HotFrac += 0.01 },
+		"WarmFrac":         func(p *trace.ServerParams) { p.WarmFrac += 0.01 },
+		"PHot":             func(p *trace.ServerParams) { p.PHot += 0.01 },
+		"PWarm":            func(p *trace.ServerParams) { p.PWarm += 0.01 },
+		"RoutineLenMin":    func(p *trace.ServerParams) { p.RoutineLenMin++ },
+		"RoutineLenMax":    func(p *trace.ServerParams) { p.RoutineLenMax++ },
+		"RunLenMin":        func(p *trace.ServerParams) { p.RunLenMin++ },
+		"RunLenMax":        func(p *trace.ServerParams) { p.RunLenMax++ },
+		"EntryPoints":      func(p *trace.ServerParams) { p.EntryPoints++ },
+		"SeqFrac":          func(p *trace.ServerParams) { p.SeqFrac += 0.01 },
+		"SmallDeltaFrac":   func(p *trace.ServerParams) { p.SmallDeltaFrac += 0.01 },
+		"BranchSkipFrac":   func(p *trace.ServerParams) { p.BranchSkipFrac += 0.01 },
+		"SuccWeights":      func(p *trace.ServerParams) { p.SuccWeights[4] += 0.01 },
+		"RandomCallFrac":   func(p *trace.ServerParams) { p.RandomCallFrac += 0.01 },
+		"LoadFrac":         func(p *trace.ServerParams) { p.LoadFrac += 0.01 },
+		"StoreFrac":        func(p *trace.ServerParams) { p.StoreFrac += 0.01 },
+		"DataZipfS":        func(p *trace.ServerParams) { p.DataZipfS += 0.01 },
+		"DataStreamFrac":   func(p *trace.ServerParams) { p.DataStreamFrac += 0.01 },
+		"PhaseLen":         func(p *trace.ServerParams) { p.PhaseLen++ },
+		"PhaseShuffleFrac": func(p *trace.ServerParams) { p.PhaseShuffleFrac += 0.01 },
+	}
+	if len(mutations) != hashedParamsFieldCount {
+		t.Fatalf("sensitivity table covers %d fields, want %d", len(mutations), hashedParamsFieldCount)
+	}
+	for field, mutate := range mutations {
+		s := base
+		mutate(&s.Params)
+		if s.Hash() == base.Hash() {
+			t.Errorf("mutating %s did not change the hash", field)
+		}
+	}
+}

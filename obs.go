@@ -32,6 +32,9 @@ type (
 	CampaignBench = runner.Bench
 	// CampaignBenchEntry is one job's line in the summary.
 	CampaignBenchEntry = runner.BenchEntry
+	// CampaignTraceSupply records a campaign's corpus-backed trace supply
+	// (corpus directory plus shared decode-cache accounting) in the summary.
+	CampaignTraceSupply = runner.TraceSupply
 )
 
 // CampaignBenchSchemaVersion identifies the BENCH_*.json schema.
