@@ -10,6 +10,8 @@
 //	experiments -exp all -quick -jobs 8  # fan out over 8 workers
 //	experiments -exp fig15 -json results.json -csv results.csv
 //	experiments -exp fig9,fig15 -corpus corpus/  # share materialised traces across configs
+//	experiments -exp all -journal run.journal    # checkpoint every completed simulation
+//	experiments -exp all -journal run.journal -resume  # skip already-journaled jobs
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 		benchOut = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
 		corpus   = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
 		corpusMB = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
+		journal  = flag.String("journal", "", "checkpoint completed simulations to this journal file")
+		resume   = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
 		verbose  = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -94,6 +98,25 @@ func main() {
 		}
 		defer store.Close()
 		opt.Corpus = store
+	}
+	// One result cache for the whole sweep: experiments share baseline
+	// (machine, workload, scale) triples, so each distinct triple simulates
+	// exactly once and every later occurrence is served from the cache.
+	// Rendered tables are unaffected — cached stats are the original run's,
+	// bit for bit. The dedup count surfaces as reused_jobs in -bench output.
+	opt.Cache = morrigan.NewCampaignResultCache()
+	if *journal != "" {
+		jn, err := morrigan.OpenCampaignJournal(*journal, *resume)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer jn.Close()
+		if *resume && jn.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming with %d journaled results\n", jn.Len())
+		}
+		opt.Journal = jn
+	} else if *resume {
+		fatal("-resume requires -journal")
 	}
 	if *serve != "" {
 		srv := morrigan.NewObservabilityServer()

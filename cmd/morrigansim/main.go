@@ -11,6 +11,10 @@
 //	morrigansim -trace trace.mgt -prefetcher sp
 //	morrigansim -workload qmm-srv-01,qmm-srv-02,qmm-srv-03 -jobs 3 -json -
 //	morrigansim -workload qmm-srv-01 -corpus corpus/ -prefetcher morrigan
+//	morrigansim -prefetcher morrigan -dump-config spec.json
+//	morrigansim -workload qmm-srv-07 -config spec.json
+//	morrigansim -workload qmm-srv-01,qmm-srv-02 -journal run.journal
+//	morrigansim -workload qmm-srv-01,qmm-srv-02 -journal run.journal -resume
 package main
 
 import (
@@ -51,6 +55,10 @@ func main() {
 		benchOut  = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
 		corpus    = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
 		corpusMB  = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
+		confIn    = flag.String("config", "", "load the machine spec from this JSON file (overrides the machine flags)")
+		confOut   = flag.String("dump-config", "", "write the machine spec as JSON to this file ('-' for stdout) and exit")
+		journal   = flag.String("journal", "", "checkpoint completed simulations to this journal file")
+		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
@@ -74,53 +82,50 @@ func main() {
 		return
 	}
 
-	mkConfig := func() morrigan.Config {
-		cfg := morrigan.DefaultConfig()
-		cfg.PerfectISTLB = *perfect
-		cfg.PrefetchIntoSTLB = *p2tlb
-		cfg.Walker.ASAP = *asap
-		cfg.STLBEntries = *stlb
-		cfg.PBEntries = *pb
-		cfg.ICacheTLBCost = *icacheTLB
-
-		switch *pf {
-		case "none":
-		case "sp":
-			cfg.Prefetcher = morrigan.NewSP()
-		case "asp":
-			cfg.Prefetcher = morrigan.NewASP(440)
-		case "dp":
-			cfg.Prefetcher = morrigan.NewDP(648)
-		case "mp":
-			cfg.Prefetcher = morrigan.NewMP(128, 4)
-		case "mp2inf":
-			cfg.Prefetcher = morrigan.NewUnboundedMP(2)
-		case "mpinf":
-			cfg.Prefetcher = morrigan.NewUnboundedMP(0)
-		case "morrigan":
-			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.DefaultPrefetcherConfig())
-		case "morrigan2x":
-			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.ScaledPrefetcherConfig(2))
-		case "mono":
-			cfg.Prefetcher = morrigan.NewMorrigan(morrigan.MonoPrefetcherConfig())
-		default:
-			fatal("unknown prefetcher %q", *pf)
+	// The machine under test is a declarative spec: built from the flags, or
+	// loaded verbatim from -config. Either way Build validates it before any
+	// simulation launches.
+	spec := specFromFlags(*pf, *icachePf, *perfect, *p2tlb, *asap, *icacheTLB, *stlb, *pb)
+	pfLabel := *pf
+	if *confIn != "" {
+		f, err := os.Open(*confIn)
+		if err != nil {
+			fatal("%v", err)
 		}
-
-		switch *icachePf {
-		case "nextline":
-		case "fnlmma":
-			cfg.ICachePrefetcher = morrigan.NewFNLMMA()
-		case "epi":
-			cfg.ICachePrefetcher = morrigan.NewEPI()
-		case "djolt":
-			cfg.ICachePrefetcher = morrigan.NewDJolt()
-		default:
-			fatal("unknown I-cache prefetcher %q", *icachePf)
+		spec, err = morrigan.LoadMachineSpec(f)
+		f.Close()
+		if err != nil {
+			fatal("config %s: %v", *confIn, err)
 		}
-		return cfg
+		// The machine came from the spec file, so the displayed prefetcher
+		// must too — the -prefetcher flag did not shape this run.
+		switch {
+		case spec.PerfectISTLB:
+			pfLabel = "perfect"
+		case spec.Prefetcher.Kind == "":
+			pfLabel = "none"
+		default:
+			pfLabel = spec.Prefetcher.Kind
+		}
 	}
-	mkConfig() // validate the prefetcher names before launching anything
+	if _, err := spec.Build(); err != nil {
+		fatal("%v", err)
+	}
+	if *confOut != "" {
+		var w io.Writer = os.Stdout
+		if *confOut != "-" {
+			f, err := os.Create(*confOut)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := morrigan.SaveMachineSpec(w, spec); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	var store *morrigan.CorpusStore
 	if *corpus != "" {
@@ -135,11 +140,33 @@ func main() {
 		defer store.Close()
 	}
 
-	cjobs := buildJobs(*workload, *traceFile, *smt, mkConfig, *warmup, *measure, store)
+	cjobs := buildJobs(*workload, *traceFile, *smt, spec, *warmup, *measure)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := morrigan.CampaignOptions{Workers: *jobs}
+	if store != nil {
+		opt.NewReader = func(w morrigan.Workload) (morrigan.TraceReader, error) {
+			c, err := store.Materialize(w, *warmup+*measure)
+			if err != nil {
+				return nil, fmt.Errorf("corpus %s: %w", w.Name, err)
+			}
+			return c.NewReader(), nil
+		}
+	}
+	if *journal != "" {
+		jn, err := morrigan.OpenCampaignJournal(*journal, *resume)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer jn.Close()
+		if *resume && jn.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "morrigansim: resuming with %d journaled results\n", jn.Len())
+		}
+		opt.Journal = jn
+	} else if *resume {
+		fatal("-resume requires -journal")
+	}
 	if *verbose {
 		opt.Progress = morrigan.CampaignWriterProgress(os.Stderr)
 	}
@@ -169,7 +196,10 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		printStats(res.Job.Workload, *pf, res.Stats)
+		printStats(res.Job.Workload, pfLabel, res.Stats)
+		if res.Reused != "" {
+			fmt.Printf("reused          %s\n", res.Reused)
+		}
 		if res.TelemetryPath != "" {
 			fmt.Printf("telemetry       %s\n", res.TelemetryPath)
 		}
@@ -242,38 +272,73 @@ func writeCampaign(path string, results []morrigan.CampaignResult, emit func(*mo
 	}
 }
 
+// specFromFlags assembles the declarative machine spec the flags describe:
+// the Table 1 machine with the named iSTLB and I-cache prefetchers and the
+// geometry overrides applied. Unknown prefetcher names fail immediately,
+// before any simulation launches.
+func specFromFlags(pf, icachePf string, perfect, p2tlb, asap, icacheTLB bool, stlb, pb int) morrigan.MachineSpec {
+	spec := morrigan.DefaultMachineSpec()
+	spec.PerfectISTLB = perfect
+	spec.PrefetchIntoSTLB = p2tlb
+	spec.Walker.ASAP = asap
+	spec.STLBEntries = stlb
+	spec.PBEntries = pb
+	spec.ICacheTLBCost = icacheTLB
+
+	switch pf {
+	case "none":
+	case "sp":
+		spec.Prefetcher = morrigan.SPSpec()
+	case "asp":
+		spec.Prefetcher = morrigan.ASPSpec(440)
+	case "dp":
+		spec.Prefetcher = morrigan.DPSpec(648)
+	case "mp":
+		spec.Prefetcher = morrigan.MPSpec(128, 4)
+	case "mp2inf":
+		spec.Prefetcher = morrigan.UnboundedMPSpec(2)
+	case "mpinf":
+		spec.Prefetcher = morrigan.UnboundedMPSpec(0)
+	case "morrigan":
+		spec.Prefetcher = morrigan.MorriganMachineSpec(morrigan.DefaultPrefetcherConfig())
+	case "morrigan2x":
+		spec.Prefetcher = morrigan.MorriganMachineSpec(morrigan.ScaledPrefetcherConfig(2))
+	case "mono":
+		spec.Prefetcher = morrigan.MorriganMachineSpec(morrigan.MonoPrefetcherConfig())
+	default:
+		fatal("unknown prefetcher %q", pf)
+	}
+
+	switch icachePf {
+	case "nextline":
+	case "fnlmma":
+		spec.ICachePrefetcher = morrigan.FNLMMASpec()
+	case "epi":
+		spec.ICachePrefetcher = morrigan.EPISpec()
+	case "djolt":
+		spec.ICachePrefetcher = morrigan.DJoltSpec()
+	default:
+		fatal("unknown I-cache prefetcher %q", icachePf)
+	}
+	return spec
+}
+
 // buildJobs enumerates one campaign job per requested workload (or one for
 // the trace file), optionally colocating the -smt workload on every run.
-func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config, warmup, measure uint64, store *morrigan.CorpusStore) []morrigan.CampaignJob {
-	// workloadReader builds one workload's stream: a corpus reader when
-	// -corpus is set (materialising the container on first use), else the
-	// live generator.
-	workloadReader := func(w morrigan.Workload) morrigan.TraceReader {
-		if store == nil {
-			return w.NewReader()
-		}
-		c, err := store.Materialize(w, warmup+measure)
-		if err != nil {
-			fatal("corpus %s: %v", w.Name, err)
-		}
-		return c.NewReader()
-	}
-	smtSpec := morrigan.Workload{}
+// Workload jobs are pure data — machine spec plus workload specs — so they
+// carry the canonical identity -journal/-resume keys on (corpus feeding, when
+// enabled, rides CampaignOptions.NewReader). The -trace job streams records
+// from a file the workload vocabulary cannot describe, so it uses the
+// NewThreads escape hatch and always executes; its SMT sibling, if any, runs
+// from the live generator.
+func buildJobs(workload, traceFile, smt string, spec morrigan.MachineSpec, warmup, measure uint64) []morrigan.CampaignJob {
+	var smtSpecs []morrigan.Workload
 	if smt != "" {
 		w, ok := morrigan.WorkloadByName(smt)
 		if !ok {
 			fatal("unknown SMT workload %q", smt)
 		}
-		smtSpec = w
-	}
-	threads := func(mk func() morrigan.TraceReader) func() []morrigan.ThreadSpec {
-		return func() []morrigan.ThreadSpec {
-			out := []morrigan.ThreadSpec{{Reader: mk()}}
-			if smt != "" {
-				out = append(out, morrigan.ThreadSpec{Reader: workloadReader(smtSpec), VAOffset: 1 << 40})
-			}
-			return out
-		}
+		smtSpecs = []morrigan.Workload{w}
 	}
 	label := func(name string) string {
 		if smt != "" {
@@ -281,13 +346,12 @@ func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config,
 		}
 		return name
 	}
-	var jobs []morrigan.CampaignJob
 	if traceFile != "" {
-		jobs = append(jobs, morrigan.CampaignJob{
+		return []morrigan.CampaignJob{{
 			Workload: label(traceFile),
+			Machine:  spec,
 			Warmup:   warmup, Measure: measure,
-			NewConfig: mkConfig,
-			NewThreads: threads(func() morrigan.TraceReader {
+			NewThreads: func() []morrigan.ThreadSpec {
 				f, err := os.Open(traceFile)
 				if err != nil {
 					fatal("%v", err)
@@ -296,11 +360,15 @@ func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config,
 				if err != nil {
 					fatal("%v", err)
 				}
-				return r
-			}),
-		})
-		return jobs
+				out := []morrigan.ThreadSpec{{Reader: r}}
+				for i, w := range smtSpecs {
+					out = append(out, morrigan.ThreadSpec{Reader: w.NewReader(), VAOffset: morrigan.SMTVAOffset * morrigan.VAddr(i+1)})
+				}
+				return out
+			},
+		}}
 	}
+	var jobs []morrigan.CampaignJob
 	for _, name := range strings.Split(workload, ",") {
 		name = strings.TrimSpace(name)
 		w, ok := morrigan.WorkloadByName(name)
@@ -308,10 +376,10 @@ func buildJobs(workload, traceFile, smt string, mkConfig func() morrigan.Config,
 			fatal("unknown workload %q (use -list)", name)
 		}
 		jobs = append(jobs, morrigan.CampaignJob{
-			Workload: label(name),
-			Warmup:   warmup, Measure: measure,
-			NewConfig:  mkConfig,
-			NewThreads: threads(func() morrigan.TraceReader { return workloadReader(w) }),
+			Workload:  label(name),
+			Machine:   spec,
+			Workloads: append([]morrigan.Workload{w}, smtSpecs...),
+			Warmup:    warmup, Measure: measure,
 		})
 	}
 	return jobs

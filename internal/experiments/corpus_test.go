@@ -17,9 +17,9 @@ func TestCorpusStatsEquivalence(t *testing.T) {
 	o := Options{Warmup: 10_000, Measure: 40_000, Jobs: 2}
 	ws := workloads.QMM()
 	jobs := []simJob{
-		job("baseline", ws[0], baseline),
-		job("baseline", ws[1], baseline),
-		pairJob("baseline", ws[0], ws[2], baseline),
+		job("baseline", ws[0], baseline()),
+		job("baseline", ws[1], baseline()),
+		pairJob("baseline", ws[0], ws[2], baseline()),
 	}
 	gen, err := o.campaign("equiv", jobs)
 	if err != nil {

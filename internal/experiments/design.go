@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"morrigan/internal/core"
-	"morrigan/internal/sim"
+	"morrigan/internal/machine"
 	"morrigan/internal/stats"
 )
 
@@ -26,16 +26,12 @@ func (o Options) coverageSweep(experiment string, points []coveragePoint) ([]flo
 	specs := o.qmm()
 	jobs := make([]simJob, 0, len(points)*len(specs))
 	for _, p := range points {
-		p := p
+		m := withPrefetcher(machine.Morrigan(p.mc))
+		if p.pbEntries > 0 {
+			m.PBEntries = p.pbEntries
+		}
 		for _, w := range specs {
-			jobs = append(jobs, job(p.label, w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				if p.pbEntries > 0 {
-					cfg.PBEntries = p.pbEntries
-				}
-				cfg.Prefetcher = core.New(p.mc)
-				return cfg
-			}))
+			jobs = append(jobs, job(p.label, w, m))
 		}
 	}
 	sts, err := o.campaign(experiment, jobs)

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"morrigan/internal/arch"
+	"morrigan/internal/machine"
 	"morrigan/internal/runner"
 	"morrigan/internal/sim"
 	"morrigan/internal/trace"
@@ -68,6 +69,15 @@ type Options struct {
 	// generator-backed runs — the container stores the exact generator
 	// output — so rendered tables do not change.
 	Corpus *tracestore.Store
+	// Journal, when non-nil, checkpoints every completed simulation so an
+	// interrupted campaign can resume (see runner.Journal). Rendered tables
+	// are unaffected — journaled stats are the original run's, bit for bit.
+	Journal *runner.Journal
+	// Cache, when non-nil, is shared across every campaign the experiments
+	// launch, so jobs with identical (machine, workloads, scale) identities
+	// — e.g. the baseline column repeated by many figures at the same
+	// Options scale — simulate exactly once. Rendered tables are unaffected.
+	Cache *runner.ResultCache
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -93,6 +103,11 @@ func (o Options) qmm() []workloads.Spec {
 	if o.MaxWorkloads <= 0 || o.MaxWorkloads >= len(all) {
 		return all
 	}
+	if o.MaxWorkloads == 1 {
+		// One workload: take the first. The sampling formula below would
+		// divide by zero (step = +Inf, 0*Inf = NaN, int(NaN) out of range).
+		return all[:1]
+	}
 	out := make([]workloads.Spec, 0, o.MaxWorkloads)
 	step := float64(len(all)-1) / float64(o.MaxWorkloads-1)
 	for i := 0; i < o.MaxWorkloads; i++ {
@@ -108,24 +123,28 @@ type simJob struct {
 	config string
 	// specs holds one workload, or two for an SMT colocation pair.
 	specs []workloads.Spec
-	// mk builds the machine configuration; it runs on the worker goroutine
-	// and must return freshly constructed state on every call.
-	mk func() sim.Config
+	// machine describes the configuration under test as data; the runner
+	// builds it (fresh prefetcher state and all) on the worker goroutine.
+	machine machine.Spec
+	// instrument, when set, mutates the built config before the run — used
+	// by the miss-stream characterisation figures. Instrumented jobs are
+	// excluded from checkpoint/reuse identity (see runner.Job.Key).
+	instrument func(*sim.Config)
 }
 
 // job enumerates a single-threaded simulation.
-func job(config string, w workloads.Spec, mk func() sim.Config) simJob {
-	return simJob{config: config, specs: []workloads.Spec{w}, mk: mk}
+func job(config string, w workloads.Spec, m machine.Spec) simJob {
+	return simJob{config: config, specs: []workloads.Spec{w}, machine: m}
 }
 
 // pairJob enumerates an SMT colocation simulation. The second workload's
 // address space is offset so the two behave as distinct processes.
-func pairJob(config string, a, b workloads.Spec, mk func() sim.Config) simJob {
-	return simJob{config: config, specs: []workloads.Spec{a, b}, mk: mk}
+func pairJob(config string, a, b workloads.Spec, m machine.Spec) simJob {
+	return simJob{config: config, specs: []workloads.Spec{a, b}, machine: m}
 }
 
-// baseline builds the no-prefetching Table 1 configuration.
-func baseline() sim.Config { return sim.DefaultConfig() }
+// baseline is the no-prefetching Table 1 configuration.
+func baseline() machine.Spec { return machine.Default() }
 
 // campaign runs the jobs through the campaign orchestrator and returns their
 // stats in job order. Aggregation code consuming the returned slice in
@@ -133,7 +152,6 @@ func baseline() sim.Config { return sim.DefaultConfig() }
 func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error) {
 	rjobs := make([]runner.Job, len(jobs))
 	for i, j := range jobs {
-		j := j
 		name := j.specs[0].Name
 		if len(j.specs) == 2 {
 			name += "+" + j.specs[1].Name
@@ -142,26 +160,31 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 			Experiment: experiment,
 			Config:     j.config,
 			Workload:   name,
+			Machine:    j.machine,
+			Workloads:  j.specs,
 			Warmup:     o.Warmup,
 			Measure:    o.Measure,
-			NewConfig:  j.mk,
-			NewThreads: func() []sim.ThreadSpec {
-				threads := []sim.ThreadSpec{{Reader: o.reader(j.specs[0])}}
-				if len(j.specs) == 2 {
-					threads = append(threads, sim.ThreadSpec{
-						Reader: o.reader(j.specs[1]), VAOffset: 1 << 40,
-					})
-				}
-				return threads
-			},
+			Instrument: j.instrument,
 		}
 	}
-	results, err := runner.Run(o.Context, rjobs, runner.Options{
+	ropt := runner.Options{
 		Workers:   o.Jobs,
 		Progress:  runner.WriterProgress(o.Progress),
 		Telemetry: o.Telemetry,
 		Observer:  o.Observer,
-	})
+		Journal:   o.Journal,
+		Cache:     o.Cache,
+	}
+	if o.Corpus != nil {
+		ropt.NewReader = func(w workloads.Spec) (trace.Reader, error) {
+			c, err := o.Corpus.Materialize(w, o.Warmup+o.Measure)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: materialising corpus for %s: %w", w.Name, err)
+			}
+			return c.NewReader(), nil
+		}
+	}
+	results, err := runner.Run(o.Context, rjobs, ropt)
 	if o.Record != nil {
 		o.Record.Add(results)
 	}
@@ -175,39 +198,23 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 	return sts, nil
 }
 
-// reader builds one workload's instruction stream: a pipelined corpus reader
-// when Options.Corpus is set, else the live generator. It runs inside
-// NewThreads on the runner's worker goroutine, where a panic is isolated
-// into that job's Result instead of aborting the campaign — so a failed
-// materialisation fails the job, matching how every other per-job setup
-// error is reported.
-func (o Options) reader(w workloads.Spec) trace.Reader {
-	if o.Corpus == nil {
-		return w.NewReader()
-	}
-	c, err := o.Corpus.Materialize(w, o.Warmup+o.Measure)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: materialising corpus for %s: %v", w.Name, err))
-	}
-	return c.NewReader()
-}
-
 // missStreams runs one baseline simulation per spec, capturing each run's
 // iSTLB miss stream; streams and stats are returned in spec order. Each
 // stream slice is written only by its own job's worker and read only after
-// the campaign completes.
+// the campaign completes. The capture hook rides the runner's Instrument
+// escape hatch, which also excludes these jobs from checkpoint/reuse — a
+// reused result would have silently skipped the capture.
 func (o Options) missStreams(experiment string, specs []workloads.Spec) ([][]uint64, []sim.Stats, error) {
 	streams := make([][]uint64, len(specs))
 	jobs := make([]simJob, len(specs))
 	for i, w := range specs {
 		i := i
-		jobs[i] = job("baseline", w, func() sim.Config {
-			cfg := sim.DefaultConfig()
+		jobs[i] = job("baseline", w, baseline())
+		jobs[i].instrument = func(cfg *sim.Config) {
 			cfg.OnISTLBMiss = func(_ arch.ThreadID, vpn arch.VPN) {
 				streams[i] = append(streams[i], uint64(vpn))
 			}
-			return cfg
-		})
+		}
 	}
 	sts, err := o.campaign(experiment, jobs)
 	if err != nil {

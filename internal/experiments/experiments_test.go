@@ -44,6 +44,33 @@ func TestQMMSampling(t *testing.T) {
 	}
 }
 
+// TestQMMSamplingEveryCount is the regression test for the MaxWorkloads == 1
+// panic (step = (len-1)/(max-1) divided by zero): every count from 1 to the
+// full suite must sample exactly that many workloads, in suite order, without
+// duplicates or out-of-range indices.
+func TestQMMSamplingEveryCount(t *testing.T) {
+	all := Options{}.qmm()
+	for max := 1; max <= len(all); max++ {
+		specs := Options{MaxWorkloads: max}.qmm()
+		if len(specs) != max {
+			t.Fatalf("MaxWorkloads %d sampled %d workloads", max, len(specs))
+		}
+		seen := make(map[string]bool, max)
+		for _, s := range specs {
+			if seen[s.Name] {
+				t.Fatalf("MaxWorkloads %d sampled %q twice", max, s.Name)
+			}
+			seen[s.Name] = true
+		}
+		if specs[0].Name != all[0].Name {
+			t.Errorf("MaxWorkloads %d does not start at the suite's first workload", max)
+		}
+		if max > 1 && specs[max-1].Name != all[len(all)-1].Name {
+			t.Errorf("MaxWorkloads %d does not end at the suite's last workload", max)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := &Table{
 		ID:     "x",
@@ -254,6 +281,42 @@ func TestSubstrateExperiments(t *testing.T) {
 				t.Errorf("%s: row %v does not match header %v", id, row, tab.Header)
 			}
 		}
+	}
+}
+
+// TestResultReuseTableIdentity is the dedup purity check: a sweep sharing
+// one result cache across experiments must serve repeated (machine,
+// workloads, scale) triples from the cache — strictly fewer simulations
+// than job enumerations — while rendering tables byte-identical to an
+// uncached run's.
+func TestResultReuseTableIdentity(t *testing.T) {
+	render := func(tab *Table) string {
+		var sb strings.Builder
+		tab.Render(&sb)
+		return sb.String()
+	}
+	o := tinyOptions()
+	o.MaxWorkloads = 2
+	plain, err := Fig15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.Cache = runner.NewResultCache()
+	if _, err := Fig9(o); err != nil { // seeds baseline + SP/ASP/DP/MP triples
+		t.Fatal(err)
+	}
+	hitsAfterFig9 := o.Cache.Hits()
+	cached, err := Fig15(o) // shares those columns with fig9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cache.Hits() <= hitsAfterFig9 {
+		t.Fatalf("fig15 after fig9 hit the shared cache %d times, want > %d",
+			o.Cache.Hits(), hitsAfterFig9)
+	}
+	if got, want := render(cached), render(plain); got != want {
+		t.Errorf("cached sweep renders differently:\n--- uncached ---\n%s--- cached ---\n%s", want, got)
 	}
 }
 

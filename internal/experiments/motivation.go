@@ -49,7 +49,7 @@ func Fig2(o Options) (*Table, error) {
 	java := workloads.Java()
 	jobs := make([]simJob, len(java))
 	for i, w := range java {
-		jobs[i] = job("baseline", w, baseline)
+		jobs[i] = job("baseline", w, baseline())
 	}
 	sts, err := o.campaign(t.ID, jobs)
 	if err != nil {
@@ -80,7 +80,7 @@ func Fig3(o Options) (*Table, error) {
 	var jobs []simJob
 	for _, suite := range suites {
 		for _, w := range suite.specs {
-			jobs = append(jobs, job(suite.name, w, baseline))
+			jobs = append(jobs, job(suite.name, w, baseline()))
 		}
 	}
 	sts, err := o.campaign(t.ID, jobs)
@@ -114,7 +114,7 @@ func Fig4(o Options) (*Table, error) {
 	qmm := o.qmm()
 	jobs := make([]simJob, len(qmm))
 	for i, w := range qmm {
-		jobs[i] = job("baseline", w, baseline)
+		jobs[i] = job("baseline", w, baseline())
 	}
 	sts, err := o.campaign(t.ID, jobs)
 	if err != nil {

@@ -4,37 +4,39 @@ import (
 	"fmt"
 
 	"morrigan/internal/core"
-	"morrigan/internal/icache"
-	"morrigan/internal/sim"
+	"morrigan/internal/machine"
 	"morrigan/internal/stats"
 	"morrigan/internal/workloads"
 )
+
+// fnlmma is the default machine with the FNL+MMA I-cache prefetcher and
+// translation costs modelled.
+func fnlmma() machine.Spec {
+	m := machine.Default()
+	m.ICachePrefetcher = machine.FNLMMA()
+	m.ICacheTLBCost = true
+	return m
+}
 
 // Fig10 evaluates the FNL+MMA-style I-cache prefetcher with and without
 // address translation costs (paper Figure 10 and Section 3.5).
 func Fig10(o Options) (*Table, error) {
 	specs := o.qmm()
 	var jobs []simJob
+	// "FNL+MMA": the IPC-1 infrastructure, where instruction address
+	// translation is not modelled (all page-crossing prefetches are
+	// translated for free and the iSTLB never misses).
+	idealSpec := machine.Default()
+	idealSpec.ICachePrefetcher = machine.FNLMMA()
+	idealSpec.PerfectISTLB = true
+	// "FNL+MMA+TLB": translation is modelled; page-crossing prefetches need
+	// page walks and contend for walker MSHRs.
+	costedSpec := fnlmma()
 	for _, w := range specs {
 		jobs = append(jobs,
-			job("baseline", w, baseline),
-			// "FNL+MMA": the IPC-1 infrastructure, where instruction address
-			// translation is not modelled (all page-crossing prefetches are
-			// translated for free and the iSTLB never misses).
-			job("FNL+MMA", w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-				cfg.PerfectISTLB = true
-				return cfg
-			}),
-			// "FNL+MMA+TLB": translation is modelled; page-crossing
-			// prefetches need page walks and contend for walker MSHRs.
-			job("FNL+MMA+TLB", w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-				cfg.ICacheTLBCost = true
-				return cfg
-			}))
+			job("baseline", w, baseline()),
+			job("FNL+MMA", w, idealSpec),
+			job("FNL+MMA+TLB", w, costedSpec))
 	}
 	sts, err := o.campaign("fig10", jobs)
 	if err != nil {
@@ -65,39 +67,21 @@ func Fig10(o Options) (*Table, error) {
 // Figure 18: an ISO-storage enlarged STLB, prefetching directly into the
 // STLB (P2TLB), ASAP, Morrigan+ASAP, and the Perfect iSTLB bound.
 func Fig18(o Options) (*Table, error) {
+	enlarged := machine.Default()
+	enlarged.STLBEntries = 1920
+	p2tlb := morrigan()
+	p2tlb.PrefetchIntoSTLB = true
+	asap := machine.Default()
+	asap.Walker.ASAP = true
+	morriganASAP := morrigan()
+	morriganASAP.Walker.ASAP = true
 	contenders := []contender{
-		{"Enlarged STLB (+384e, ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.STLBEntries = 1920
-			return c
-		}},
-		{"P2TLB (prefetch into STLB)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			c.PrefetchIntoSTLB = true
-			return c
-		}},
-		{"ASAP", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Walker.ASAP = true
-			return c
-		}},
-		{"Morrigan", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			return c
-		}},
-		{"Morrigan+ASAP", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			c.Walker.ASAP = true
-			return c
-		}},
-		{"Perfect iSTLB", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.PerfectISTLB = true
-			return c
-		}},
+		{"Enlarged STLB (+384e, ISO)", enlarged},
+		{"P2TLB (prefetch into STLB)", p2tlb},
+		{"ASAP", asap},
+		{"Morrigan", morrigan()},
+		{"Morrigan+ASAP", morriganASAP},
+		{"Perfect iSTLB", perfect()},
 	}
 	agg, err := o.compare("fig18", contenders)
 	if err != nil {
@@ -129,27 +113,14 @@ func Fig18(o Options) (*Table, error) {
 func Fig19(o Options) (*Table, error) {
 	specs := o.qmm()
 	var jobs []simJob
+	combined := fnlmma()
+	combined.Prefetcher = machine.Morrigan(core.DefaultConfig())
 	for _, w := range specs {
 		jobs = append(jobs,
-			job("baseline", w, baseline),
-			job("FNL+MMA", w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-				cfg.ICacheTLBCost = true
-				return cfg
-			}),
-			job("Morrigan", w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				cfg.Prefetcher = core.New(core.DefaultConfig())
-				return cfg
-			}),
-			job("Morrigan+FNL+MMA", w, func() sim.Config {
-				cfg := sim.DefaultConfig()
-				cfg.Prefetcher = core.New(core.DefaultConfig())
-				cfg.ICachePrefetcher = icache.DefaultFNLMMA()
-				cfg.ICacheTLBCost = true
-				return cfg
-			}))
+			job("baseline", w, baseline()),
+			job("FNL+MMA", w, fnlmma()),
+			job("Morrigan", w, morrigan()),
+			job("Morrigan+FNL+MMA", w, combined))
 	}
 	sts, err := o.campaign("fig19", jobs)
 	if err != nil {
@@ -187,40 +158,20 @@ func Fig19(o Options) (*Table, error) {
 // configuration) and also undoubled.
 func Fig20(o Options) (*Table, error) {
 	pairs := workloads.SMTPairs(o.SMTPairs, 2021)
-	type cfgMaker struct {
-		name string
-		mk   func() sim.Config
-	}
-	makers := []cfgMaker{
-		{"FNL+MMA", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.ICachePrefetcher = icache.DefaultFNLMMA()
-			c.ICacheTLBCost = true
-			return c
-		}},
-		{"Morrigan (2x tables)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.ScaledConfig(2))
-			return c
-		}},
-		{"Morrigan (1x tables)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			return c
-		}},
-		{"Morrigan(2x)+FNL+MMA", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.ScaledConfig(2))
-			c.ICachePrefetcher = icache.DefaultFNLMMA()
-			c.ICacheTLBCost = true
-			return c
-		}},
+	scaled2x := withPrefetcher(machine.Morrigan(core.ScaledConfig(2)))
+	combined := fnlmma()
+	combined.Prefetcher = machine.Morrigan(core.ScaledConfig(2))
+	makers := []contender{
+		{"FNL+MMA", fnlmma()},
+		{"Morrigan (2x tables)", scaled2x},
+		{"Morrigan (1x tables)", morrigan()},
+		{"Morrigan(2x)+FNL+MMA", combined},
 	}
 	var jobs []simJob
 	for _, p := range pairs {
-		jobs = append(jobs, pairJob("baseline", p[0], p[1], baseline))
+		jobs = append(jobs, pairJob("baseline", p[0], p[1], baseline()))
 		for _, m := range makers {
-			jobs = append(jobs, pairJob(m.name, p[0], p[1], m.mk))
+			jobs = append(jobs, pairJob(m.name, p[0], p[1], m.spec))
 		}
 	}
 	sts, err := o.campaign("fig20", jobs)
@@ -259,14 +210,10 @@ func Fig20(o Options) (*Table, error) {
 // frequency-stack reset, the RLFU candidate width, and the storage cost of
 // distances versus full VPNs.
 func Ablations(o Options) (*Table, error) {
-	mkMorrigan := func(mutate func(*core.Config)) func() sim.Config {
-		return func() sim.Config {
-			mc := core.DefaultConfig()
-			mutate(&mc)
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(mc)
-			return c
-		}
+	mkMorrigan := func(mutate func(*core.Config)) machine.Spec {
+		mc := core.DefaultConfig()
+		mutate(&mc)
+		return withPrefetcher(machine.Morrigan(mc))
 	}
 	// Storing full VPNs instead of distances costs 36+2 bits per slot
 	// instead of 15+2, so an ISO-storage full-VPN design tracks roughly
@@ -279,11 +226,7 @@ func Ablations(o Options) (*Table, error) {
 		{"no frequency reset", mkMorrigan(func(c *core.Config) { c.FreqResetInterval = 0 })},
 		{"RLFU pool = 2", mkMorrigan(func(c *core.Config) { c.RLFUCandidates = 2 })},
 		{"RLFU pool = 8", mkMorrigan(func(c *core.Config) { c.RLFUCandidates = 8 })},
-		{"full-VPN slots (ISO entries)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.ScaledConfig(vpnFactor))
-			return c
-		}},
+		{"full-VPN slots (ISO entries)", withPrefetcher(machine.Morrigan(core.ScaledConfig(vpnFactor)))},
 	}
 	agg, err := o.compare("ablations", contenders)
 	if err != nil {

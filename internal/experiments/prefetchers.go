@@ -5,6 +5,7 @@ import (
 
 	"morrigan/internal/arch"
 	"morrigan/internal/core"
+	"morrigan/internal/machine"
 	"morrigan/internal/sim"
 	"morrigan/internal/stats"
 	"morrigan/internal/tlbprefetch"
@@ -14,29 +15,48 @@ import (
 // of Sections 6.2-6.4 (the paper's 3.76 KB).
 var MorriganStorageBits = core.New(core.DefaultConfig()).StorageBits()
 
-// ISO-storage baseline prefetcher constructors (Section 6.2: "configuration
+// ISO-storage baseline prefetcher specs (Section 6.2: "configuration
 // parameters ... match the storage budget of Morrigan").
-func isoASP() *tlbprefetch.ASP {
+func isoASP() machine.PrefetcherSpec {
 	per := tlbprefetch.TagBits + tlbprefetch.VPNStorageBits + 16 + tlbprefetch.ConfBits
-	return tlbprefetch.NewASP(MorriganStorageBits / per)
+	return machine.ASP(MorriganStorageBits / per)
 }
 
-func isoDP() *tlbprefetch.DP {
+func isoDP() machine.PrefetcherSpec {
 	per := tlbprefetch.TagBits + 2*16
-	return tlbprefetch.NewDP(MorriganStorageBits / per)
+	return machine.DP(MorriganStorageBits / per)
 }
 
-func isoMP() *tlbprefetch.MP {
+func isoMP() machine.PrefetcherSpec {
 	per := tlbprefetch.TagBits + 2*tlbprefetch.VPNStorageBits
 	n := MorriganStorageBits / per
 	n -= n % 4
-	return tlbprefetch.NewMP(n, 4)
+	return machine.MP(n, 4)
+}
+
+// withPrefetcher is the default machine with the given iSTLB prefetcher.
+func withPrefetcher(p machine.PrefetcherSpec) machine.Spec {
+	m := machine.Default()
+	m.Prefetcher = p
+	return m
+}
+
+// morrigan is the default machine running the paper's Morrigan configuration.
+func morrigan() machine.Spec {
+	return withPrefetcher(machine.Morrigan(core.DefaultConfig()))
+}
+
+// perfect is the default machine with a perfect iSTLB (upper bound).
+func perfect() machine.Spec {
+	m := machine.Default()
+	m.PerfectISTLB = true
+	return m
 }
 
 // contender is one configuration in a comparison experiment.
 type contender struct {
 	name string
-	mk   func() sim.Config
+	spec machine.Spec
 }
 
 // aggregate accumulates per-workload results for one contender.
@@ -62,9 +82,9 @@ func (o Options) compare(experiment string, contenders []contender) (map[string]
 	specs := o.qmm()
 	jobs := make([]simJob, 0, len(specs)*(1+len(contenders)))
 	for _, w := range specs {
-		jobs = append(jobs, job("baseline", w, baseline))
+		jobs = append(jobs, job("baseline", w, baseline()))
 		for _, c := range contenders {
-			jobs = append(jobs, job(c.name, w, c.mk))
+			jobs = append(jobs, job(c.name, w, c.spec))
 		}
 	}
 	sts, err := o.campaign(experiment, jobs)
@@ -99,41 +119,13 @@ func (o Options) compare(experiment string, contenders []contender) (map[string]
 // (paper Figure 9 plus the Section 3.4 idealizations).
 func Fig9(o Options) (*Table, error) {
 	contenders := []contender{
-		{"SP", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.SP{}
-			return c
-		}},
-		{"ASP (orig 256e)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.NewASP(256)
-			return c
-		}},
-		{"DP (orig 256e)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.NewDP(256)
-			return c
-		}},
-		{"MP (orig 128e)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.NewMP(128, 4)
-			return c
-		}},
-		{"MP-unbounded-2", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.NewUnboundedMP(2)
-			return c
-		}},
-		{"MP-unbounded-inf", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.NewUnboundedMP(0)
-			return c
-		}},
-		{"Perfect iSTLB", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.PerfectISTLB = true
-			return c
-		}},
+		{"SP", withPrefetcher(machine.SP())},
+		{"ASP (orig 256e)", withPrefetcher(machine.ASP(256))},
+		{"DP (orig 256e)", withPrefetcher(machine.DP(256))},
+		{"MP (orig 128e)", withPrefetcher(machine.MP(128, 4))},
+		{"MP-unbounded-2", withPrefetcher(machine.UnboundedMP(2))},
+		{"MP-unbounded-inf", withPrefetcher(machine.UnboundedMP(0))},
+		{"Perfect iSTLB", perfect()},
 	}
 	agg, err := o.compare("fig9", contenders)
 	if err != nil {
@@ -159,31 +151,11 @@ func Fig9(o Options) (*Table, error) {
 // prefetchers (paper Figure 15), including the IRIP/SDP PB-hit split.
 func Fig15(o Options) (*Table, error) {
 	contenders := []contender{
-		{"SP", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.SP{}
-			return c
-		}},
-		{"DP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoDP()
-			return c
-		}},
-		{"ASP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoASP()
-			return c
-		}},
-		{"MP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoMP()
-			return c
-		}},
-		{"Morrigan", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			return c
-		}},
+		{"SP", withPrefetcher(machine.SP())},
+		{"DP (ISO)", withPrefetcher(isoDP())},
+		{"ASP (ISO)", withPrefetcher(isoASP())},
+		{"MP (ISO)", withPrefetcher(isoMP())},
+		{"Morrigan", morrigan()},
 	}
 	agg, err := o.compare("fig15", contenders)
 	if err != nil {
@@ -212,31 +184,11 @@ func Fig15(o Options) (*Table, error) {
 // Morrigan's prefetch references.
 func Fig16(o Options) (*Table, error) {
 	contenders := []contender{
-		{"SP", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = tlbprefetch.SP{}
-			return c
-		}},
-		{"ASP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoASP()
-			return c
-		}},
-		{"DP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoDP()
-			return c
-		}},
-		{"MP (ISO)", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = isoMP()
-			return c
-		}},
-		{"Morrigan", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			return c
-		}},
+		{"SP", withPrefetcher(machine.SP())},
+		{"ASP (ISO)", withPrefetcher(isoASP())},
+		{"DP (ISO)", withPrefetcher(isoDP())},
+		{"MP (ISO)", withPrefetcher(isoMP())},
+		{"Morrigan", morrigan()},
 	}
 	agg, err := o.compare("fig16", contenders)
 	if err != nil {
@@ -275,16 +227,8 @@ func Fig16(o Options) (*Table, error) {
 // Morrigan-mono ablation (paper Figure 17).
 func Fig17(o Options) (*Table, error) {
 	contenders := []contender{
-		{"Morrigan", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.DefaultConfig())
-			return c
-		}},
-		{"Morrigan-mono", func() sim.Config {
-			c := sim.DefaultConfig()
-			c.Prefetcher = core.New(core.MonoConfig())
-			return c
-		}},
+		{"Morrigan", morrigan()},
+		{"Morrigan-mono", withPrefetcher(machine.Morrigan(core.MonoConfig()))},
 	}
 	agg, err := o.compare("fig17", contenders)
 	if err != nil {

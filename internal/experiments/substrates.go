@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"morrigan/internal/core"
-	"morrigan/internal/icache"
-	"morrigan/internal/sim"
+	"morrigan/internal/machine"
 	"morrigan/internal/stats"
 )
 
@@ -17,12 +15,12 @@ import (
 func PageTables(o Options) (*Table, error) {
 	type variant struct {
 		name string
-		kind sim.PageTableKind
+		kind string
 	}
 	variants := []variant{
-		{"radix-4 (default)", sim.PageTableRadix4},
-		{"radix-5 (PML5)", sim.PageTableRadix5},
-		{"hashed (clustered)", sim.PageTableHashed},
+		{"radix-4 (default)", "radix-4"},
+		{"radix-5 (PML5)", "radix-5"},
+		{"hashed (clustered)", "hashed"},
 	}
 	t := &Table{
 		ID:     "pagetables",
@@ -36,20 +34,14 @@ func PageTables(o Options) (*Table, error) {
 	specs := o.qmm()
 	var jobs []simJob
 	for _, v := range variants {
-		kind := v.kind
+		base := machine.Default()
+		base.PageTable = v.kind
+		mor := morrigan()
+		mor.PageTable = v.kind
 		for _, w := range specs {
 			jobs = append(jobs,
-				job(v.name+" baseline", w, func() sim.Config {
-					cfg := sim.DefaultConfig()
-					cfg.PageTable = kind
-					return cfg
-				}),
-				job(v.name+" Morrigan", w, func() sim.Config {
-					cfg := sim.DefaultConfig()
-					cfg.PageTable = kind
-					cfg.Prefetcher = core.New(core.DefaultConfig())
-					return cfg
-				}))
+				job(v.name+" baseline", w, base),
+				job(v.name+" Morrigan", w, mor))
 		}
 	}
 	sts, err := o.campaign(t.ID, jobs)
@@ -92,21 +84,15 @@ func ContextSwitch(o Options) (*Table, error) {
 	specs := o.qmm()
 	var jobs []simJob
 	for _, interval := range intervals {
-		interval := interval
 		label := fmt.Sprintf("cs=%d", interval)
+		base := machine.Default()
+		base.ContextSwitchInterval = interval
+		mor := morrigan()
+		mor.ContextSwitchInterval = interval
 		for _, w := range specs {
 			jobs = append(jobs,
-				job(label+" baseline", w, func() sim.Config {
-					cfg := sim.DefaultConfig()
-					cfg.ContextSwitchInterval = interval
-					return cfg
-				}),
-				job(label+" Morrigan", w, func() sim.Config {
-					cfg := sim.DefaultConfig()
-					cfg.ContextSwitchInterval = interval
-					cfg.Prefetcher = core.New(core.DefaultConfig())
-					return cfg
-				}))
+				job(label+" baseline", w, base),
+				job(label+" Morrigan", w, mor))
 		}
 	}
 	sts, err := o.campaign(t.ID, jobs)
@@ -160,27 +146,20 @@ func HugePages(o Options) (*Table, error) {
 	qmm := o.qmm()
 	var jobs []simJob
 	for _, m := range modes {
-		m := m
+		base := machine.Default()
+		base.HugeDataPages = m.huge
+		mor := morrigan()
+		mor.HugeDataPages = m.huge
 		for i, w := range qmm {
-			mk := func(withMorrigan bool) func() sim.Config {
-				return func() sim.Config {
-					c := sim.DefaultConfig()
-					c.HugeDataPages = m.huge
-					if withMorrigan {
-						c.Prefetcher = core.New(core.DefaultConfig())
-					}
-					return c
-				}
-			}
 			if m.smt {
 				other := qmm[(i+len(qmm)/2)%len(qmm)]
 				jobs = append(jobs,
-					pairJob(m.name+" baseline", w, other, mk(false)),
-					pairJob(m.name+" Morrigan", w, other, mk(true)))
+					pairJob(m.name+" baseline", w, other, base),
+					pairJob(m.name+" Morrigan", w, other, mor))
 			} else {
 				jobs = append(jobs,
-					job(m.name+" baseline", w, mk(false)),
-					job(m.name+" Morrigan", w, mk(true)))
+					job(m.name+" baseline", w, base),
+					job(m.name+" Morrigan", w, mor))
 			}
 		}
 	}
@@ -210,11 +189,11 @@ func HugePages(o Options) (*Table, error) {
 func ICacheSelection(o Options) (*Table, error) {
 	prefs := []struct {
 		name string
-		mk   func() icache.Prefetcher
+		ic   machine.ICacheSpec
 	}{
-		{"EPI", func() icache.Prefetcher { return icache.DefaultEPI() }},
-		{"FNL+MMA", func() icache.Prefetcher { return icache.DefaultFNLMMA() }},
-		{"D-Jolt", func() icache.Prefetcher { return icache.DefaultDJolt() }},
+		{"EPI", machine.EPI()},
+		{"FNL+MMA", machine.FNLMMA()},
+		{"D-Jolt", machine.DJolt()},
 	}
 	t := &Table{
 		ID:     "icacheselect",
@@ -227,16 +206,13 @@ func ICacheSelection(o Options) (*Table, error) {
 	specs := o.qmm()
 	var jobs []simJob
 	for _, p := range prefs {
-		mkPref := p.mk
+		m := machine.Default()
+		m.ICachePrefetcher = p.ic
+		m.ICacheTLBCost = true
 		for _, w := range specs {
 			jobs = append(jobs,
-				job(p.name+" baseline", w, baseline),
-				job(p.name, w, func() sim.Config {
-					cfg := sim.DefaultConfig()
-					cfg.ICachePrefetcher = mkPref()
-					cfg.ICacheTLBCost = true
-					return cfg
-				}))
+				job(p.name+" baseline", w, baseline()),
+				job(p.name, w, m))
 		}
 	}
 	sts, err := o.campaign(t.ID, jobs)

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"morrigan/internal/core"
+	"morrigan/internal/sim"
+)
+
+// TestBuildDefault pins Default().Build() to sim.DefaultConfig(): the
+// declarative Table 1 machine constructs exactly the config the simulator's
+// own default constructs.
+func TestBuildDefault(t *testing.T) {
+	got, err := Default().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Default().Build() =\n%+v\nwant sim.DefaultConfig() =\n%+v", got, want)
+	}
+}
+
+// TestBuildFreshState: every Build call must construct fresh prefetcher
+// instances, or two concurrent jobs sharing one spec would share mutable
+// prediction tables.
+func TestBuildFreshState(t *testing.T) {
+	s := Default()
+	s.Prefetcher = Morrigan(core.DefaultConfig())
+	s.ICachePrefetcher = FNLMMA()
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prefetcher == b.Prefetcher {
+		t.Error("two Build calls shared one iSTLB prefetcher instance")
+	}
+	if a.ICachePrefetcher == b.ICachePrefetcher {
+		t.Error("two Build calls shared one I-cache prefetcher instance")
+	}
+}
+
+// TestBuildErrors covers every Build failure path: unknown kinds, invalid
+// geometries, unknown page tables and policies, and specs whose built config
+// fails sim.Config.Validate.
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"unknown prefetcher kind", func(s *Spec) {
+			s.Prefetcher.Kind = "quantum"
+		}, `unknown prefetcher kind "quantum"`},
+		{"asp without entries", func(s *Spec) {
+			s.Prefetcher = PrefetcherSpec{Kind: PrefetcherASP}
+		}, "needs entries > 0"},
+		{"dp negative entries", func(s *Spec) {
+			s.Prefetcher = PrefetcherSpec{Kind: PrefetcherDP, Entries: -8}
+		}, "needs entries > 0"},
+		{"mp bad geometry", func(s *Spec) {
+			s.Prefetcher = PrefetcherSpec{Kind: PrefetcherMP, Entries: 130, Ways: 4}
+		}, "mp prefetcher geometry invalid"},
+		{"unknown morrigan policy", func(s *Spec) {
+			s.Prefetcher = PrefetcherSpec{Kind: PrefetcherMorrigan, Morrigan: &MorriganSpec{
+				Tables: []TableSpec{{Slots: 2, Entries: 64, Ways: 4}},
+				Policy: "fifo",
+			}}
+		}, `unknown replacement policy "fifo"`},
+		{"unknown icache kind", func(s *Spec) {
+			s.ICachePrefetcher = ICacheSpec{Kind: "oracle", Entries: 2048, Ways: 8}
+		}, `unknown I-cache prefetcher kind "oracle"`},
+		{"icache missing geometry", func(s *Spec) {
+			s.ICachePrefetcher = ICacheSpec{Kind: ICacheEPI}
+		}, "I-cache prefetcher geometry invalid"},
+		{"unknown page table", func(s *Spec) {
+			s.PageTable = "radix-7"
+		}, `unknown page table kind "radix-7"`},
+		{"perfect istlb with prefetcher", func(s *Spec) {
+			s.PerfectISTLB = true
+			s.Prefetcher = SP()
+		}, "PerfectISTLB excludes"},
+		{"invalid stlb geometry", func(s *Spec) {
+			s.STLBEntries = 7
+		}, "STLB geometry invalid"},
+	}
+	for _, tc := range cases {
+		s := Default()
+		tc.mutate(&s)
+		_, err := s.Build()
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: Build() err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"morrigan/internal/core"
+	"morrigan/internal/icache"
+	"morrigan/internal/sim"
+	"morrigan/internal/tlbprefetch"
+	"morrigan/internal/workloads"
+)
+
+// TestSpecStatsEquivalence is the refactor's safety net: for every machine
+// shape the experiment suite uses, a spec-built config must produce
+// bit-identical sim.Stats to the config built the pre-refactor way — a
+// closure assembling sim.DefaultConfig() plus live prefetcher instances.
+// The closures below reproduce exactly what internal/experiments constructed
+// before jobs became (machine.Spec, []workloads.Spec) data.
+func TestSpecStatsEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    func() Spec
+		closure func() sim.Config
+	}{
+		{
+			"baseline",
+			func() Spec { return Default() },
+			sim.DefaultConfig,
+		},
+		{
+			"sp",
+			func() Spec { s := Default(); s.Prefetcher = SP(); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = tlbprefetch.SP{}
+				return c
+			},
+		},
+		{
+			"asp-256",
+			func() Spec { s := Default(); s.Prefetcher = ASP(256); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = tlbprefetch.NewASP(256)
+				return c
+			},
+		},
+		{
+			"dp-256",
+			func() Spec { s := Default(); s.Prefetcher = DP(256); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = tlbprefetch.NewDP(256)
+				return c
+			},
+		},
+		{
+			"mp-128x4",
+			func() Spec { s := Default(); s.Prefetcher = MP(128, 4); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = tlbprefetch.NewMP(128, 4)
+				return c
+			},
+		},
+		{
+			"mp-unbounded-2",
+			func() Spec { s := Default(); s.Prefetcher = UnboundedMP(2); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = tlbprefetch.NewUnboundedMP(2)
+				return c
+			},
+		},
+		{
+			"morrigan",
+			func() Spec { s := Default(); s.Prefetcher = Morrigan(core.DefaultConfig()); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = core.New(core.DefaultConfig())
+				return c
+			},
+		},
+		{
+			"morrigan-scaled-2x-p2tlb",
+			func() Spec {
+				s := Default()
+				s.Prefetcher = Morrigan(core.ScaledConfig(2))
+				s.PrefetchIntoSTLB = true
+				return s
+			},
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = core.New(core.ScaledConfig(2))
+				c.PrefetchIntoSTLB = true
+				return c
+			},
+		},
+		{
+			"morrigan-mono-asap",
+			func() Spec {
+				s := Default()
+				s.Prefetcher = Morrigan(core.MonoConfig())
+				s.Walker.ASAP = true
+				return s
+			},
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.Prefetcher = core.New(core.MonoConfig())
+				c.Walker.ASAP = true
+				return c
+			},
+		},
+		{
+			"perfect-istlb",
+			func() Spec { s := Default(); s.PerfectISTLB = true; return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.PerfectISTLB = true
+				return c
+			},
+		},
+		{
+			"enlarged-stlb-1920",
+			func() Spec { s := Default(); s.STLBEntries = 1920; return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.STLBEntries = 1920
+				return c
+			},
+		},
+		{
+			"fnlmma-tlb-cost",
+			func() Spec {
+				s := Default()
+				s.ICachePrefetcher = FNLMMA()
+				s.ICacheTLBCost = true
+				return s
+			},
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.ICachePrefetcher = icache.DefaultFNLMMA()
+				c.ICacheTLBCost = true
+				return c
+			},
+		},
+		{
+			"epi",
+			func() Spec { s := Default(); s.ICachePrefetcher = EPI(); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.ICachePrefetcher = icache.DefaultEPI()
+				return c
+			},
+		},
+		{
+			"djolt",
+			func() Spec { s := Default(); s.ICachePrefetcher = DJolt(); return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.ICachePrefetcher = icache.DefaultDJolt()
+				return c
+			},
+		},
+		{
+			"radix-5",
+			func() Spec { s := Default(); s.PageTable = "radix-5"; return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.PageTable = sim.PageTableRadix5
+				return c
+			},
+		},
+		{
+			"hashed",
+			func() Spec { s := Default(); s.PageTable = "hashed"; return s },
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.PageTable = sim.PageTableHashed
+				return c
+			},
+		},
+		{
+			"huge-data-pages-correcting",
+			func() Spec {
+				s := Default()
+				s.HugeDataPages = true
+				s.CorrectingWalks = true
+				s.Prefetcher = Morrigan(core.DefaultConfig())
+				return s
+			},
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.HugeDataPages = true
+				c.CorrectingWalks = true
+				c.Prefetcher = core.New(core.DefaultConfig())
+				return c
+			},
+		},
+		{
+			"context-switch",
+			func() Spec {
+				s := Default()
+				s.ContextSwitchInterval = 10_000
+				s.Prefetcher = Morrigan(core.DefaultConfig())
+				return s
+			},
+			func() sim.Config {
+				c := sim.DefaultConfig()
+				c.ContextSwitchInterval = 10_000
+				c.Prefetcher = core.New(core.DefaultConfig())
+				return c
+			},
+		},
+	}
+
+	w := workloads.QMM()[0]
+	run := func(t *testing.T, cfg sim.Config) sim.Stats {
+		t.Helper()
+		s, err := sim.New(cfg, []sim.ThreadSpec{{Reader: w.NewReader()}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(2_000, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			built, err := tc.spec().Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			specStats := run(t, built)
+			closureStats := run(t, tc.closure())
+			if !reflect.DeepEqual(specStats, closureStats) {
+				t.Errorf("spec-built stats differ from closure-built stats:\n spec    %+v\n closure %+v",
+					specStats, closureStats)
+			}
+		})
+	}
+}

@@ -13,35 +13,31 @@ import (
 	"testing"
 
 	"morrigan/internal/core"
+	"morrigan/internal/machine"
 	"morrigan/internal/runner"
-	"morrigan/internal/sim"
 	"morrigan/internal/telemetry"
 	"morrigan/internal/workloads"
 )
 
-// testJobs enumerates n small simulations over distinct workloads.
+// testJobs enumerates n small simulations over distinct workloads, as pure
+// data (machine spec + workload specs).
 func testJobs(n int) []runner.Job {
 	qmm := workloads.QMM()
 	jobs := make([]runner.Job, n)
 	for i := 0; i < n; i++ {
 		w := qmm[i%len(qmm)]
-		withMorrigan := i%2 == 1
+		m := machine.Default()
+		if i%2 == 1 {
+			m.Prefetcher = machine.Morrigan(core.DefaultConfig())
+		}
 		jobs[i] = runner.Job{
 			Experiment: "obs",
 			Config:     fmt.Sprintf("cfg%d", i%2),
 			Workload:   w.Name,
+			Machine:    m,
+			Workloads:  []workloads.Spec{w},
 			Warmup:     5_000,
 			Measure:    50_000,
-			NewConfig: func() sim.Config {
-				cfg := sim.DefaultConfig()
-				if withMorrigan {
-					cfg.Prefetcher = core.New(core.DefaultConfig())
-				}
-				return cfg
-			},
-			NewThreads: func() []sim.ThreadSpec {
-				return []sim.ThreadSpec{{Reader: w.NewReader()}}
-			},
 		}
 	}
 	return jobs

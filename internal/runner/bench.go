@@ -25,6 +25,11 @@ type Bench struct {
 	// their partial instruction counts and elapsed time.
 	Jobs   int `json:"jobs"`
 	Failed int `json:"failed"`
+	// ReusedJobs counts jobs served from the result cache or checkpoint
+	// journal instead of simulating — the campaign's dedup win. Always
+	// emitted, so a sweep that should have deduplicated but did not shows
+	// an explicit zero.
+	ReusedJobs int `json:"reused_jobs"`
 	// TotalInstructions is the sum of every job's executed instructions
 	// (warmup included).
 	TotalInstructions uint64 `json:"total_instructions"`
@@ -95,6 +100,9 @@ func NewBench(c Campaign) Bench {
 		}
 		if e.Failed {
 			b.Failed++
+		}
+		if r.Reused != "" {
+			b.ReusedJobs++
 		}
 		b.TotalInstructions += r.SimInstructions
 		b.TotalElapsedMS += r.ElapsedMS

@@ -1,0 +1,228 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"morrigan/internal/sim"
+)
+
+// JournalSchemaVersion identifies the checkpoint-journal file format.
+const JournalSchemaVersion = 1
+
+// Journal is the crash-safe campaign checkpoint: an append-only JSONL file
+// of completed JobKey → Stats records. Every append is a single line
+// followed by an fsync, so at any kill point the file is a valid journal
+// plus at most one torn trailing line, which resume tolerates by truncating
+// it. Keys are re-derived from each record's stored components on load, so a
+// record whose key no longer matches (a spec-hash or key-derivation version
+// bump, or hand-edited components) is discarded and its job simply re-runs.
+//
+// A Journal only ever stores succeeded, data-identified jobs: failed jobs,
+// instrumented jobs and NewThreads jobs are skipped (see Job.Key). It is
+// safe for concurrent use by the campaign worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seen map[string]sim.Stats
+}
+
+// journalHeader is the file's first line.
+type journalHeader struct {
+	Kind   string `json:"kind"`
+	Schema int    `json:"schema"`
+}
+
+// journalRecord is one completed job. The key's components (machine hash,
+// workload hashes, scale) are stored alongside the key so load can verify
+// the key still derives from them; the display fields are informational.
+type journalRecord struct {
+	Kind       string    `json:"kind"`
+	Key        string    `json:"key"`
+	Machine    string    `json:"machine"`
+	Workloads  []string  `json:"workloads"`
+	Warmup     uint64    `json:"warmup"`
+	Measure    uint64    `json:"measure"`
+	Experiment string    `json:"experiment,omitempty"`
+	Config     string    `json:"config,omitempty"`
+	Workload   string    `json:"workload,omitempty"`
+	Stats      sim.Stats `json:"stats"`
+}
+
+// OpenJournal opens the checkpoint journal at path. With resume false the
+// file is truncated and a fresh header written — the campaign starts from
+// nothing. With resume true, existing records are loaded (after key
+// verification) so the campaign skips already-completed jobs; a torn final
+// line from a killed run is cut off before appending resumes.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path, seen: make(map[string]sim.Stats)}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("runner: journal: %w", err)
+		}
+		j.f = f
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	j.f = f
+	valid, err := j.load()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Cut the torn tail (or any trailing corruption) so appends extend a
+	// well-formed journal, then continue from there.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: truncating tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	if valid == 0 {
+		if err := j.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// writeHeader emits and fsyncs the header line.
+func (j *Journal) writeHeader() error {
+	b, err := json.Marshal(journalHeader{Kind: "header", Schema: JournalSchemaVersion})
+	if err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	return nil
+}
+
+// load scans the journal from the start, filling seen from verified records,
+// and returns the byte offset of the end of the last well-formed line.
+// Scanning stops at the first incomplete or unparsable line — everything
+// after a corruption point is abandoned, which for the expected failure mode
+// (a kill mid-append) is exactly the torn final line.
+func (j *Journal) load() (validOffset int64, err error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("runner: journal: %w", err)
+	}
+	r := bufio.NewReader(j.f)
+	var offset int64
+	first := true
+	for {
+		line, rerr := r.ReadString('\n')
+		if rerr != nil {
+			// EOF with a partial line: the torn tail — stop before it.
+			return offset, nil
+		}
+		if first {
+			var h journalHeader
+			if json.Unmarshal([]byte(line), &h) != nil || h.Kind != "header" {
+				return offset, nil
+			}
+			if h.Schema != JournalSchemaVersion {
+				return 0, fmt.Errorf("runner: journal %s: schema %d, want %d — delete it or run without -resume",
+					j.path, h.Schema, JournalSchemaVersion)
+			}
+			first = false
+			offset += int64(len(line))
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal([]byte(line), &rec) != nil || rec.Kind != "result" {
+			return offset, nil
+		}
+		// Verify the stored key still derives from the stored components;
+		// a mismatch (stale hash version, edited file) discards the record
+		// so the job re-runs rather than reusing a wrong result.
+		if jobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure) == rec.Key {
+			j.seen[rec.Key] = rec.Stats
+		}
+		offset += int64(len(line))
+	}
+}
+
+// Append journals one completed job: no-op for failed jobs, jobs without a
+// data-only identity, and keys already journaled. The record is fsynced
+// before Append returns, so a later crash cannot lose it.
+func (j *Journal) Append(res Result) error {
+	key, ok := res.Job.Key()
+	if !ok || res.Err != nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.seen[key]; dup {
+		return nil
+	}
+	hashes := make([]string, len(res.Job.Workloads))
+	for i, w := range res.Job.Workloads {
+		hashes[i] = w.Hash()
+	}
+	rec := journalRecord{
+		Kind:       "result",
+		Key:        key,
+		Machine:    res.Job.Machine.Hash(),
+		Workloads:  hashes,
+		Warmup:     res.Job.Warmup,
+		Measure:    res.Job.Measure,
+		Experiment: res.Job.Experiment,
+		Config:     res.Job.Config,
+		Workload:   res.Job.Workload,
+		Stats:      res.Stats,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("runner: journal: %w", err)
+	}
+	j.seen[key] = res.Stats
+	return nil
+}
+
+// Lookup returns the journaled stats for key, if present.
+func (j *Journal) Lookup(key string) (sim.Stats, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, ok := j.seen[key]
+	return st, ok
+}
+
+// Len reports how many completed jobs the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Close releases the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

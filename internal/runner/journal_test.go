@@ -1,0 +1,236 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"morrigan/internal/sim"
+)
+
+// runJournaled runs jobs with a journal at path and returns the results.
+func runJournaled(t *testing.T, path string, jobs []Job, resume bool, workers int) []Result {
+	t.Helper()
+	jn, err := OpenJournal(path, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	results, err := Run(context.Background(), jobs, Options{Workers: workers, Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestJournalResume: a second run over the same jobs with -resume semantics
+// must simulate nothing and return the first run's stats bit for bit.
+func TestJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(4)
+	first := runJournaled(t, path, jobs, false, 2)
+
+	second := runJournaled(t, path, jobs, true, 2)
+	for i := range jobs {
+		if second[i].Reused != ReusedJournal {
+			t.Errorf("job %d: Reused = %q, want %q", i, second[i].Reused, ReusedJournal)
+		}
+		if !reflect.DeepEqual(first[i].Stats, second[i].Stats) {
+			t.Errorf("job %d: resumed stats differ from the original run", i)
+		}
+	}
+}
+
+// TestJournalPartialResume is the interrupted-campaign scenario: journal only
+// a prefix of the jobs, then resume over the full set — already-journaled
+// jobs are served, the rest simulate, and the merged results are bit-identical
+// to an uninterrupted run's.
+func TestJournalPartialResume(t *testing.T) {
+	jobs := testJobs(4)
+	uninterrupted, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.journal")
+	runJournaled(t, path, jobs[:2], false, 1) // the "killed at 50%" run
+
+	merged := runJournaled(t, path, jobs, true, 2)
+	for i := range jobs {
+		wantReused := ""
+		if i < 2 {
+			wantReused = ReusedJournal
+		}
+		if merged[i].Reused != wantReused {
+			t.Errorf("job %d: Reused = %q, want %q", i, merged[i].Reused, wantReused)
+		}
+		if !reflect.DeepEqual(merged[i].Stats, uninterrupted[i].Stats) {
+			t.Errorf("job %d: merged stats differ from the uninterrupted run", i)
+		}
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn final line; resume
+// must truncate it, keep every whole record, and re-run only the torn job.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(3)
+	runJournaled(t, path, jobs, false, 1)
+
+	// Tear the final record in half, as a kill mid-write would.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(b), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jn, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jn.Len() != len(jobs)-1 {
+		t.Fatalf("after tearing the tail, journal holds %d records, want %d", jn.Len(), len(jobs)-1)
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 1, Journal: jn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	reused := 0
+	for _, r := range results {
+		if r.Reused == ReusedJournal {
+			reused++
+		}
+	}
+	if reused != len(jobs)-1 {
+		t.Errorf("reused %d jobs, want %d", reused, len(jobs)-1)
+	}
+
+	// The re-run appended the torn job again: a third open sees all records
+	// and a well-formed file.
+	jn2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	if jn2.Len() != len(jobs) {
+		t.Errorf("after recovery run, journal holds %d records, want %d", jn2.Len(), len(jobs))
+	}
+}
+
+// TestJournalKeyVerification: a record whose stored key no longer derives
+// from its stored components (hand-edited file, stale hash version) is
+// discarded on load so the job re-runs instead of reusing a wrong result.
+func TestJournalKeyVerification(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(2)
+	runJournaled(t, path, jobs, false, 1)
+
+	// Corrupt record 0's machine hash (keeping valid JSON and a valid key
+	// string), simulating a hash-version bump.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec["machine"] = strings.Repeat("ab", 32)
+	edited, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[1] = string(edited)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jn, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	if jn.Len() != 1 {
+		t.Errorf("journal kept %d records, want 1 (the unedited one)", jn.Len())
+	}
+	key0, _ := jobs[0].Key()
+	if _, hit := jn.Lookup(key0); hit {
+		t.Error("edited record should have been discarded")
+	}
+	key1, _ := jobs[1].Key()
+	if _, hit := jn.Lookup(key1); !hit {
+		t.Error("untouched record should have survived")
+	}
+}
+
+// TestJournalSchemaMismatch: an incompatible journal must fail loudly rather
+// than resume against records whose format this binary cannot trust.
+func TestJournalSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := os.WriteFile(path, []byte(`{"kind":"header","schema":999}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, true); err == nil || !strings.Contains(err.Error(), "schema 999") {
+		t.Errorf("OpenJournal on schema 999 = %v, want schema error", err)
+	}
+}
+
+// TestJournalFreshTruncates: without resume, an existing journal is
+// truncated — a new campaign starts from nothing.
+func TestJournalFreshTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(2)
+	runJournaled(t, path, jobs, false, 1)
+
+	results := runJournaled(t, path, jobs, false, 1)
+	for i, r := range results {
+		if r.Reused != "" {
+			t.Errorf("job %d reused %q from a truncated journal", i, r.Reused)
+		}
+	}
+}
+
+// TestJournalSkipsUnkeyedAndFailed: instrumented (unkeyed) jobs and failed
+// jobs must never be journaled — resuming over them would be wrong.
+func TestJournalSkipsUnkeyedAndFailed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(3)
+	jobs[1].Instrument = func(*sim.Config) {}
+	jobs[2].Machine.STLBEntries = 7 // invalid geometry: the job fails
+
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 1, Journal: jn})
+	if err == nil {
+		t.Error("campaign with a failing job returned nil error")
+	}
+	jn.Close()
+	if results[1].Err != nil {
+		t.Errorf("instrumented job failed: %v", results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Error("invalid-geometry job did not fail")
+	}
+
+	jn2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.Close()
+	if jn2.Len() != 1 {
+		t.Errorf("journal holds %d records, want 1 (only the keyed, succeeded job)", jn2.Len())
+	}
+}

@@ -1,0 +1,60 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// jobKeyVersion is folded into every job key so a deliberate change to the
+// key derivation (or to either underlying spec hash version) invalidates
+// persisted checkpoint journals instead of silently matching stale results.
+const jobKeyVersion = "morrigan/runner.JobKey/v1"
+
+// Key returns the job's canonical identity: the SHA-256 (as lowercase hex)
+// of the machine spec hash, the workload spec hashes in thread order, and
+// the warmup/measure scale — H(machine ‖ workloads ‖ scale). Two jobs with
+// equal keys simulate the identical (config, workload, scale) triple and
+// produce bit-identical Stats, which is what the checkpoint journal and the
+// cross-experiment result cache rely on.
+//
+// The second return is false for jobs that have no data-only identity:
+// jobs with an Instrument hook (the capture closure observes the run, so a
+// cached result would silently skip it) or a NewThreads factory (the
+// instruction streams are not described by workload specs), and jobs with
+// no Workloads at all. Such jobs always execute.
+func (j Job) Key() (string, bool) {
+	if j.Instrument != nil || j.NewThreads != nil || len(j.Workloads) == 0 {
+		return "", false
+	}
+	hashes := make([]string, len(j.Workloads))
+	for i, w := range j.Workloads {
+		hashes[i] = w.Hash()
+	}
+	return jobKey(j.Machine.Hash(), hashes, j.Warmup, j.Measure), true
+}
+
+// jobKey derives the canonical key from already-computed component hashes.
+// Journal loading re-derives keys through this same function to verify that
+// a journaled record still matches what its components hash to today.
+func jobKey(machineHash string, workloadHashes []string, warmup, measure uint64) string {
+	h := sha256.New()
+	h.Write([]byte(jobKeyVersion))
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	ws(machineHash)
+	wu(uint64(len(workloadHashes)))
+	for _, wh := range workloadHashes {
+		ws(wh)
+	}
+	wu(warmup)
+	wu(measure)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -14,6 +14,8 @@ type Event struct {
 	Job Job
 	// Err is the job's error, if it failed.
 	Err error
+	// Reused marks jobs served from the result cache or checkpoint journal.
+	Reused string
 	// Elapsed is the job's own execution time.
 	Elapsed time.Duration
 	// Campaign is the wall-clock time since the campaign started.
@@ -38,8 +40,11 @@ func WriterProgress(w io.Writer) ProgressFunc {
 	}
 	return func(e Event) {
 		status := "ok"
-		if e.Err != nil {
+		switch {
+		case e.Err != nil:
 			status = "FAILED"
+		case e.Reused != "":
+			status = "reused (" + e.Reused + ")"
 		}
 		line := fmt.Sprintf("[%*d/%d] %s %s (%s",
 			numWidth(e.Total), e.Done, e.Total, e.Job.Name(), status,
@@ -93,6 +98,7 @@ func (p *progressTracker) done(res Result) {
 		Total:    p.total,
 		Job:      res.Job,
 		Err:      res.Err,
+		Reused:   res.Reused,
 		Elapsed:  res.Elapsed,
 		Campaign: elapsed,
 		ETA:      eta,

@@ -41,6 +41,11 @@ type Record struct {
 	// (JSON only — the CSV column set is unchanged so existing consumers
 	// and diffs are unaffected.)
 	Telemetry string `json:"telemetry,omitempty"`
+	// Reused marks results served without simulating: "cache" (in-process
+	// result cache) or "journal" (checkpoint resume). Stats are the
+	// original run's; the throughput fields are zero, since this job cost
+	// nothing. (JSON only — the CSV column set is unchanged.)
+	Reused string `json:"reused,omitempty"`
 	// Stats is the full measurement snapshot.
 	Stats *sim.Stats `json:"stats,omitempty"`
 }
@@ -66,6 +71,7 @@ func NewRecord(res Result) Record {
 		InstrPerSec:     res.InstrPerSec,
 		PeakHeapBytes:   res.PeakHeapBytes,
 		Telemetry:       res.TelemetryPath,
+		Reused:          res.Reused,
 	}
 	if res.Err != nil {
 		r.Error = res.Err.Error()

@@ -29,28 +29,54 @@ import (
 	"sync"
 	"time"
 
+	"morrigan/internal/arch"
+	"morrigan/internal/machine"
 	"morrigan/internal/sim"
 	"morrigan/internal/telemetry"
+	"morrigan/internal/trace"
+	"morrigan/internal/workloads"
 )
 
-// Job is one independent simulation in a campaign. The NewConfig and
-// NewThreads factories are invoked on the worker goroutine that executes the
-// job, so every piece of mutable simulation state (prefetcher tables, trace
-// generators, RNGs) is constructed and used by exactly one goroutine.
+// SMTVAOffset is the per-thread virtual-address-space offset: thread i's
+// stream is shifted by i*SMTVAOffset so colocated SMT workloads behave as
+// distinct processes.
+const SMTVAOffset arch.VAddr = 1 << 40
+
+// Job is one independent simulation in a campaign, described as data: a
+// declarative machine spec plus the workload specs feeding its threads (1,
+// or 2 for SMT). The machine and its trace readers are constructed on the
+// worker goroutine that executes the job, so every piece of mutable
+// simulation state (prefetcher tables, trace generators, RNGs) is built and
+// used by exactly one goroutine.
+//
+// Because both halves are data with stable hashes, a job has a canonical
+// identity (Key) that the checkpoint journal and cross-experiment result
+// cache key on. The two escape hatches — Instrument and NewThreads — opt a
+// job out of that identity: such jobs always execute (see Key).
 type Job struct {
 	// Experiment, Config and Workload identify the job in results
 	// (e.g. "fig15", "Morrigan", "qmm-srv-07"). Config may be empty for
-	// baseline runs.
+	// baseline runs. Display-only: they do not influence Key.
 	Experiment, Config, Workload string
 
-	// NewConfig builds the machine configuration, including any stateful
-	// prefetcher instances. It must not return state shared with another job.
-	NewConfig func() sim.Config
-	// NewThreads builds the instruction streams (1 thread, or 2 for SMT).
-	NewThreads func() []sim.ThreadSpec
+	// Machine describes the simulated machine as data; it is Built on the
+	// worker goroutine.
+	Machine machine.Spec
+	// Workloads feed the job's threads in order; thread i's address space is
+	// offset by i*SMTVAOffset. Ignored when NewThreads is set.
+	Workloads []workloads.Spec
 
 	// Warmup and Measure are instruction counts for sim.Run.
 	Warmup, Measure uint64
+
+	// Instrument, when set, mutates the built config before the simulation
+	// starts — the hook for run-observing closures (e.g. OnISTLBMiss
+	// capture). Instrumented jobs have no data-only identity and are never
+	// journaled or served from the result cache.
+	Instrument func(*sim.Config)
+	// NewThreads, when set, overrides Workloads as the instruction-stream
+	// source (e.g. trace files). Such jobs also forgo a data-only identity.
+	NewThreads func() []sim.ThreadSpec
 }
 
 // Name returns the job's "experiment/config/workload" display label, eliding
@@ -90,7 +116,17 @@ type Result struct {
 	// TelemetryPath is the job's JSONL telemetry file, when
 	// Options.Telemetry was set and the job ran.
 	TelemetryPath string
+	// Reused marks results that were not simulated by this job: ReusedCache
+	// for in-process result-cache hits, ReusedJournal for checkpoint-journal
+	// hits. Empty for jobs that actually ran.
+	Reused string
 }
+
+// Reused markers.
+const (
+	ReusedCache   = "cache"
+	ReusedJournal = "journal"
+)
 
 // Options configures a campaign run.
 type Options struct {
@@ -109,12 +145,27 @@ type Options struct {
 	// Observer); it also forces a telemetry probe onto every job so live
 	// counters are scrapeable, even when Telemetry is nil.
 	Observer Observer
+	// NewReader, when non-nil, builds each workload's instruction stream
+	// (e.g. from a materialised corpus) instead of the workload's live
+	// generator. It runs on the job's worker goroutine.
+	NewReader func(workloads.Spec) (trace.Reader, error)
+	// Journal, when non-nil, is the crash-safe checkpoint: completed jobs
+	// are appended to it, and jobs already journaled (resume) are served
+	// from it without simulating.
+	Journal *Journal
+	// Cache, when non-nil, deduplicates jobs with equal canonical keys —
+	// across campaigns when shared — so each distinct (config, workload,
+	// scale) triple simulates exactly once.
+	Cache *ResultCache
 }
 
 // Observer receives campaign lifecycle notifications, the attach surface of
 // the live observability server (internal/obs). CampaignStarted is called
 // once per Run before any job launches; JobStarted and JobFinished are called
-// from worker goroutines (concurrently with each other) for every job.
+// from worker goroutines (concurrently with each other) for every job that
+// simulates. Jobs served from the checkpoint journal or the result cache
+// never start a simulation, so they receive only JobFinished (with
+// Result.Reused set).
 //
 // The probe passed to JobStarted is owned by the job's simulation goroutine:
 // an observer may only use its cross-goroutine surface — Snapshot(), and
@@ -183,7 +234,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 					return
 				}
 				claimed[i] = true
-				results[i] = execute(ctx, i, jobs[i], opt)
+				results[i] = executeShared(ctx, i, jobs[i], opt)
 				if opt.Observer != nil {
 					opt.Observer.JobFinished(i, results[i])
 				}
@@ -220,6 +271,92 @@ func firstError(ctx context.Context, results []Result) error {
 		}
 	}
 	return nil
+}
+
+// executeShared wraps execute with the two key-based reuse layers: the
+// checkpoint journal (completed results from a previous, interrupted run)
+// and the in-process result cache (duplicate jobs within or across the
+// current process's campaigns). Jobs without a data-only identity bypass
+// both and always execute.
+func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
+	key, keyed := j.Key()
+	if !keyed || (opt.Journal == nil && opt.Cache == nil) {
+		return executeJournaled(ctx, i, j, opt, key, keyed)
+	}
+	if opt.Journal != nil {
+		if st, hit := opt.Journal.Lookup(key); hit {
+			if opt.Cache != nil {
+				opt.Cache.publish(key, st)
+			}
+			return Result{Job: j, Stats: st, Reused: ReusedJournal}
+		}
+	}
+	if opt.Cache == nil {
+		return executeJournaled(ctx, i, j, opt, key, keyed)
+	}
+	e, leader := opt.Cache.acquire(key)
+	if !leader {
+		// Follower: wait for the leader's verdict. A failed leader releases
+		// us with ok=false and a vacated entry — run live rather than reuse
+		// (or re-elect on) an error.
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return Result{Job: j, Err: fmt.Errorf("runner: %s: %w", j.Name(), ctx.Err())}
+		}
+		if e.ok {
+			opt.Cache.hit()
+			return Result{Job: j, Stats: e.stats, Reused: ReusedCache}
+		}
+		return executeJournaled(ctx, i, j, opt, key, keyed)
+	}
+	res := executeJournaled(ctx, i, j, opt, key, keyed)
+	if res.Err == nil {
+		opt.Cache.complete(e, res.Stats)
+	} else {
+		opt.Cache.abort(key, e)
+	}
+	return res
+}
+
+// executeJournaled runs the job live and, on success, checkpoints the result
+// (when a journal is attached and the job is keyed). A journal write failure
+// fails the job — a checkpoint the caller asked for but silently did not get
+// would defeat resume.
+func executeJournaled(ctx context.Context, i int, j Job, opt Options, key string, keyed bool) Result {
+	res := execute(ctx, i, j, opt)
+	if keyed && opt.Journal != nil && res.Err == nil {
+		if err := opt.Journal.Append(res); err != nil {
+			res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		}
+	}
+	return res
+}
+
+// buildThreads constructs the job's instruction streams: the NewThreads
+// escape hatch verbatim, else one reader per workload spec (via
+// Options.NewReader when set), with thread i's address space offset by
+// i*SMTVAOffset. On error, already-built readers are closed.
+func buildThreads(j Job, opt Options) ([]sim.ThreadSpec, error) {
+	if j.NewThreads != nil {
+		return j.NewThreads(), nil
+	}
+	threads := make([]sim.ThreadSpec, 0, len(j.Workloads))
+	for i, w := range j.Workloads {
+		var r trace.Reader
+		var err error
+		if opt.NewReader != nil {
+			r, err = opt.NewReader(w)
+		} else {
+			r = w.NewReader()
+		}
+		if err != nil {
+			closeThreadReaders(threads)
+			return nil, fmt.Errorf("building %s reader: %w", w.Name, err)
+		}
+		threads = append(threads, sim.ThreadSpec{Reader: r, VAOffset: arch.VAddr(i) * SMTVAOffset})
+	}
+	return threads, nil
 }
 
 // execute runs job i with panic isolation, the per-job timeout, and an
@@ -263,7 +400,14 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 			res.TelemetryPath = path
 		}
 	}()
-	cfg := j.NewConfig()
+	cfg, err := j.Machine.Build()
+	if err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		return res
+	}
+	if j.Instrument != nil {
+		j.Instrument(&cfg)
+	}
 	switch {
 	case opt.Telemetry != nil:
 		probe = telemetry.NewProbe(opt.Telemetry.Config)
@@ -280,9 +424,12 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 			opt.Observer.JobStarted(i, j, probe)
 		}
 	}
-	threads := j.NewThreads()
+	threads, err := buildThreads(j, opt)
+	if err != nil {
+		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+		return res
+	}
 	defer closeThreadReaders(threads)
-	var err error
 	s, err = sim.New(cfg, threads)
 	if err != nil {
 		s = nil

@@ -13,34 +13,31 @@ import (
 	"time"
 
 	"morrigan/internal/core"
+	"morrigan/internal/machine"
 	"morrigan/internal/sim"
 	"morrigan/internal/workloads"
 )
 
 // testJobs enumerates n small simulations over distinct workloads and
-// configurations.
+// configurations, as pure data (machine spec + workload specs) so each job
+// carries a canonical identity.
 func testJobs(n int) []Job {
 	qmm := workloads.QMM()
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
 		w := qmm[i%len(qmm)]
-		withMorrigan := i%2 == 1
+		m := machine.Default()
+		if i%2 == 1 {
+			m.Prefetcher = machine.Morrigan(core.DefaultConfig())
+		}
 		jobs[i] = Job{
 			Experiment: "test",
 			Config:     fmt.Sprintf("cfg%d", i%2),
 			Workload:   w.Name,
+			Machine:    m,
+			Workloads:  []workloads.Spec{w},
 			Warmup:     5_000,
 			Measure:    20_000,
-			NewConfig: func() sim.Config {
-				cfg := sim.DefaultConfig()
-				if withMorrigan {
-					cfg.Prefetcher = core.New(core.DefaultConfig())
-				}
-				return cfg
-			},
-			NewThreads: func() []sim.ThreadSpec {
-				return []sim.ThreadSpec{{Reader: w.NewReader()}}
-			},
 		}
 	}
 	return jobs
@@ -76,7 +73,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 func TestRunPanicIsolation(t *testing.T) {
 	jobs := testJobs(3)
 	jobs[1].Config = "boom"
-	jobs[1].NewConfig = func() sim.Config { panic("synthetic failure") }
+	jobs[1].Instrument = func(*sim.Config) { panic("synthetic failure") }
 	results, err := Run(context.Background(), jobs, Options{Workers: 2})
 	if err == nil || !strings.Contains(err.Error(), "panic") {
 		t.Fatalf("campaign err = %v, want the panicking job's error", err)
@@ -176,7 +173,7 @@ func TestWriterProgress(t *testing.T) {
 
 func TestCampaignJSON(t *testing.T) {
 	jobs := testJobs(2)
-	jobs[1].NewConfig = func() sim.Config { panic("broken") }
+	jobs[1].Instrument = func(*sim.Config) { panic("broken") }
 	results, _ := Run(context.Background(), jobs, Options{Workers: 1})
 
 	var rec Recorder
@@ -213,7 +210,7 @@ func TestCampaignJSON(t *testing.T) {
 
 func TestCampaignCSV(t *testing.T) {
 	jobs := testJobs(2)
-	jobs[1].NewConfig = func() sim.Config { panic("broken") }
+	jobs[1].Instrument = func(*sim.Config) { panic("broken") }
 	results, _ := Run(context.Background(), jobs, Options{Workers: 1})
 
 	var rec Recorder

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"morrigan/internal/arch"
 	"morrigan/internal/cache"
@@ -33,6 +34,22 @@ const (
 	// neighbours, so there are no interior levels and the PSCs are idle.
 	PageTableHashed
 )
+
+// ParsePageTableKind maps a page-table name (as produced by
+// PageTableKind.String, case-insensitive) back to the constant. The empty
+// string means the default radix-4 organisation, so a zero-valued
+// machine-spec field round-trips to the zero PageTableKind.
+func ParsePageTableKind(s string) (PageTableKind, error) {
+	switch strings.ToLower(s) {
+	case "", "radix-4":
+		return PageTableRadix4, nil
+	case "radix-5":
+		return PageTableRadix5, nil
+	case "hashed":
+		return PageTableHashed, nil
+	}
+	return 0, fmt.Errorf("sim: unknown page table kind %q", s)
+}
 
 // String names the page table kind.
 func (k PageTableKind) String() string {

@@ -188,7 +188,10 @@ func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 	if cfg.HugeDataPages {
 		// Map each thread's synthetic data region with 2 MB pages. Code
 		// regions stay at 4 KB, as on real systems (Section 5).
-		rt := pt.(*pagetable.Table)
+		rt, err := hugeRegionTable(pt)
+		if err != nil {
+			return nil, err
+		}
 		s.ptHuge = rt
 		for _, th := range s.threads {
 			off := arch.VPN(th.off >> arch.PageShift)
@@ -210,6 +213,18 @@ func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 		})
 	}
 	return s, nil
+}
+
+// hugeRegionTable resolves the page-table implementation that can host 2 MB
+// regions. Validate already rejects HugeDataPages on hashed tables, but a
+// future radix translator that is not backed by *pagetable.Table must fail
+// cleanly here rather than panicking on the assertion.
+func hugeRegionTable(pt pagetable.Translator) (*pagetable.Table, error) {
+	rt, ok := pt.(*pagetable.Table)
+	if !ok {
+		return nil, fmt.Errorf("sim: HugeDataPages requires the radix page-table implementation, got %T", pt)
+	}
+	return rt, nil
 }
 
 // now returns the current simulation time. The interval core model advances

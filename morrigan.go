@@ -35,9 +35,12 @@
 package morrigan
 
 import (
+	"io"
+
 	"morrigan/internal/arch"
 	"morrigan/internal/core"
 	"morrigan/internal/icache"
+	"morrigan/internal/machine"
 	"morrigan/internal/sim"
 	"morrigan/internal/tlbprefetch"
 	"morrigan/internal/trace"
@@ -48,6 +51,8 @@ import (
 type (
 	// VPN is a virtual page number.
 	VPN = arch.VPN
+	// VAddr is a virtual address.
+	VAddr = arch.VAddr
 	// ThreadID identifies a hardware (SMT) thread.
 	ThreadID = arch.ThreadID
 	// Cycle is a simulation timestamp in core clock cycles.
@@ -117,6 +122,64 @@ type (
 // DefaultConfig returns the paper's Table 1 system configuration with no
 // STLB prefetching and a next-line I-cache prefetcher.
 func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Machine specs: declarative, JSON-serialisable machine descriptions with a
+// stable content hash. A spec is pure data — Build turns it into a live
+// Config (fresh prefetcher state and all), and Hash gives campaigns a
+// machine identity for checkpointing and cross-experiment result reuse.
+type (
+	// MachineSpec describes one simulated machine as data.
+	MachineSpec = machine.Spec
+	// MachinePrefetcherSpec selects and parameterises an iSTLB prefetcher.
+	MachinePrefetcherSpec = machine.PrefetcherSpec
+	// MachineICacheSpec selects and parameterises an I-cache prefetcher.
+	MachineICacheSpec = machine.ICacheSpec
+	// MorriganSpec parameterises the Morrigan prefetcher as data.
+	MorriganSpec = machine.MorriganSpec
+)
+
+// DefaultMachineSpec returns the Table 1 machine as a declarative spec;
+// DefaultMachineSpec().Build() is equivalent to DefaultConfig().
+func DefaultMachineSpec() MachineSpec { return machine.Default() }
+
+// MorriganMachineSpec returns the Morrigan prefetcher spec for cfg.
+func MorriganMachineSpec(cfg PrefetcherConfig) MachinePrefetcherSpec { return machine.Morrigan(cfg) }
+
+// Machine-spec constructors for the named prefetchers — the same vocabulary
+// as the New* constructors above, but as data.
+
+// SPSpec is the Sequential Prefetcher as a spec.
+func SPSpec() MachinePrefetcherSpec { return machine.SP() }
+
+// ASPSpec is the Arbitrary Stride Prefetcher as a spec.
+func ASPSpec(entries int) MachinePrefetcherSpec { return machine.ASP(entries) }
+
+// DPSpec is the Distance Prefetcher as a spec.
+func DPSpec(entries int) MachinePrefetcherSpec { return machine.DP(entries) }
+
+// MPSpec is the Markov Prefetcher as a spec.
+func MPSpec(entries, ways int) MachinePrefetcherSpec { return machine.MP(entries, ways) }
+
+// UnboundedMPSpec is the Section 3.4 idealization as a spec; maxSucc <= 0
+// means unlimited successors per entry.
+func UnboundedMPSpec(maxSucc int) MachinePrefetcherSpec { return machine.UnboundedMP(maxSucc) }
+
+// FNLMMASpec is the FNL+MMA-style I-cache prefetcher as a spec.
+func FNLMMASpec() MachineICacheSpec { return machine.FNLMMA() }
+
+// EPISpec is the entangling-style I-cache prefetcher as a spec.
+func EPISpec() MachineICacheSpec { return machine.EPI() }
+
+// DJoltSpec is the D-Jolt-style I-cache prefetcher as a spec.
+func DJoltSpec() MachineICacheSpec { return machine.DJolt() }
+
+// LoadMachineSpec parses a machine spec from its JSON form, rejecting
+// unknown fields and specs that fail validation.
+func LoadMachineSpec(r io.Reader) (MachineSpec, error) { return machine.Load(r) }
+
+// SaveMachineSpec serialises a machine spec as JSON readable by
+// LoadMachineSpec.
+func SaveMachineSpec(w io.Writer, s MachineSpec) error { return machine.Save(w, s) }
 
 // NewSimulator builds a simulator over one or two threads.
 func NewSimulator(cfg Config, threads []ThreadSpec) (*Simulator, error) {
