@@ -12,6 +12,9 @@
 //	experiments -exp fig9,fig15 -corpus corpus/  # share materialised traces across configs
 //	experiments -exp all -journal run.journal    # checkpoint every completed simulation
 //	experiments -exp all -journal run.journal -resume  # skip already-journaled jobs
+//	experiments -exp all -results results/       # reuse stored results across runs
+//	experiments -exp all -fabric :9090           # delegate jobs to fabric workers
+//	experiments -exp fig15 -dry-run              # print enumerated jobs, simulate nothing
 package main
 
 import (
@@ -45,6 +48,9 @@ func main() {
 		corpusMB = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
 		journal  = flag.String("journal", "", "checkpoint completed simulations to this journal file")
 		resume   = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
+		results  = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
+		fabric   = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		dryRun   = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
 		verbose  = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -118,8 +124,20 @@ func main() {
 	} else if *resume {
 		fatal("-resume requires -journal")
 	}
+	if *results != "" {
+		rs, err := morrigan.OpenResultStore(*results)
+		if err != nil {
+			fatal("results: %v", err)
+		}
+		if rs.Len() > 0 || rs.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: result store holds %d reusable results (%d unverifiable skipped)\n",
+				rs.Len(), rs.Skipped())
+		}
+		opt.Store = rs
+	}
+	var srv *morrigan.ObservabilityServer
 	if *serve != "" {
-		srv := morrigan.NewObservabilityServer()
+		srv = morrigan.NewObservabilityServer()
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fatal("serve: %v", err)
@@ -127,6 +145,28 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s/metrics\n", addr)
 		opt.Observer = srv
+		if opt.Journal != nil {
+			srv.AddReadiness("journal", opt.Journal.Writable)
+		}
+	}
+	if *fabric != "" {
+		coord := morrigan.NewFabricCoordinator(morrigan.FabricCoordinatorOptions{
+			Corpus: store,
+			Log:    os.Stderr,
+		})
+		addr, err := coord.Start(*fabric)
+		if err != nil {
+			fatal("fabric: %v", err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(os.Stderr, "experiments: fabric coordinator on http://%s/fabric/status — start workers with: fabric work -coordinator http://%s\n", addr, addr)
+		opt.Remote = coord
+		if srv != nil {
+			srv.AddGaugeSource(coord.Gauges)
+		}
+	}
+	if *dryRun {
+		opt.DryRun = os.Stdout
 	}
 
 	var w io.Writer = os.Stdout
@@ -143,8 +183,10 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
-	fmt.Fprintf(w, "Morrigan reproduction experiments (warmup %d, measure %d instructions per run)\n\n",
-		opt.Warmup, opt.Measure)
+	if !*dryRun {
+		fmt.Fprintf(w, "Morrigan reproduction experiments (warmup %d, measure %d instructions per run)\n\n",
+			opt.Warmup, opt.Measure)
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -152,6 +194,9 @@ func main() {
 		if err != nil {
 			emitRecords(rec, *jsonOut, *csvOut, *benchOut, store)
 			fatal("%s: %v", id, err)
+		}
+		if *dryRun {
+			continue // jobs were printed as they were enumerated; tables are all zeros
 		}
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,238 @@
+// Command fabric runs the distributed campaign fabric: a coordinator that
+// enumerates experiment campaigns and hands jobs to workers over HTTP, and
+// the stateless workers that pull, simulate, and submit.
+//
+// A distributed run is one `fabric serve` (or any experiments/morrigansim
+// invocation with -fabric) plus any number of `fabric work` processes — on
+// the same machine or across machines sharing nothing but the coordinator
+// URL. Merged campaign output is byte-identical to a single-process run at
+// any worker count, and a worker killed mid-campaign costs only a lease
+// timeout before its job is reassigned.
+//
+// Examples:
+//
+//	fabric serve -addr :9090 -exp fig9,fig15 -quick -out results.txt
+//	fabric serve -addr :9090 -exp all -results results/ -corpus corpus/
+//	fabric work -coordinator http://127.0.0.1:9090
+//	fabric work -coordinator http://bighost:9090 -corpus worker-corpus/ -name w1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"morrigan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "work":
+		work(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fabric serve [flags]   run a coordinator driving an experiment campaign
+  fabric work  [flags]   run a worker pulling jobs from a coordinator
+
+run 'fabric serve -h' or 'fabric work -h' for flags`)
+	os.Exit(2)
+}
+
+// serve drives an experiment campaign through an embedded coordinator: every
+// keyed job is delegated to fabric workers; the process itself simulates
+// nothing (beyond unkeyed instrumented jobs, which cannot cross the wire).
+func serve(args []string) {
+	fs := flag.NewFlagSet("fabric serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":9090", "coordinator listen address")
+		exp      = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick    = fs.Bool("quick", false, "reduced scale (benchmark-sized)")
+		full     = fs.Bool("full", false, "paper-scale methodology (slow)")
+		warmup   = fs.Uint64("warmup", 0, "override warmup instructions per run")
+		measure  = fs.Uint64("measure", 0, "override measured instructions per run")
+		jobs     = fs.Int("jobs", 0, "concurrent job delegations (0 = GOMAXPROCS)")
+		out      = fs.String("out", "", "write rendered tables to a file instead of stdout")
+		jsonOut  = fs.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		results  = fs.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
+		corpus   = fs.String("corpus", "", "trace corpus directory; also served to workers over /fabric/corpus")
+		leaseTTL = fs.Duration("lease-ttl", 0, "worker lease TTL before a silent worker's job is reassigned (0 = 30s)")
+		verbose  = fs.Bool("v", false, "print per-job progress and fabric events")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := morrigan.DefaultExperimentOptions()
+	if *quick {
+		opt = morrigan.QuickExperimentOptions()
+	}
+	if *full {
+		opt = morrigan.FullExperimentOptions()
+	}
+	if *warmup > 0 {
+		opt.Warmup = *warmup
+	}
+	if *measure > 0 {
+		opt.Measure = *measure
+	}
+	opt.Jobs = *jobs
+	opt.Context = ctx
+	opt.Cache = morrigan.NewCampaignResultCache()
+	if *verbose {
+		opt.Progress = os.Stderr
+	}
+	var rec *morrigan.CampaignRecorder
+	if *jsonOut != "" {
+		rec = &morrigan.CampaignRecorder{}
+		opt.Record = rec
+	}
+
+	var cs *morrigan.CorpusStore
+	if *corpus != "" {
+		var err error
+		cs, err = morrigan.OpenCorpusStore(morrigan.CorpusOptions{Dir: *corpus})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer cs.Close()
+		opt.Corpus = cs
+	}
+	if *results != "" {
+		rs, err := morrigan.OpenResultStore(*results)
+		if err != nil {
+			fatal("results: %v", err)
+		}
+		if rs.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "fabric: result store holds %d reusable results\n", rs.Len())
+		}
+		opt.Store = rs
+	}
+
+	copt := morrigan.FabricCoordinatorOptions{Corpus: cs, LeaseTTL: *leaseTTL}
+	if *verbose {
+		copt.Log = os.Stderr
+	}
+	coord := morrigan.NewFabricCoordinator(copt)
+	bound, err := coord.Start(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer coord.Close()
+	fmt.Fprintf(os.Stderr, "fabric: coordinator on http://%s — start workers with: fabric work -coordinator http://%s\n", bound, bound)
+	opt.Remote = coord
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	ids := morrigan.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	fmt.Fprintf(w, "Morrigan reproduction experiments (warmup %d, measure %d instructions per run)\n\n",
+		opt.Warmup, opt.Measure)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := morrigan.RunExperiment(id, opt)
+		if err != nil {
+			emitJSON(rec, *jsonOut)
+			fatal("%s: %v", id, err)
+		}
+		tab.Render(w)
+		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	emitJSON(rec, *jsonOut)
+}
+
+// work runs one worker until interrupted or until the coordinator goes away.
+func work(args []string) {
+	fs := flag.NewFlagSet("fabric work", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:9090); required")
+		name        = fs.String("name", "", "worker name in coordinator logs (default host:pid)")
+		corpus      = fs.String("corpus", "", "local trace corpus directory; misses are fetched from the coordinator")
+		quiet       = fs.Bool("q", false, "suppress per-job log lines")
+	)
+	fs.Parse(args)
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "fabric work: -coordinator is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	wopt := morrigan.FabricWorkerOptions{Coordinator: *coordinator, Name: *name}
+	if wopt.Name == "" {
+		host, _ := os.Hostname()
+		wopt.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if !*quiet {
+		wopt.Log = os.Stderr
+	}
+	if *corpus != "" {
+		cs, err := morrigan.OpenCorpusStore(morrigan.CorpusOptions{Dir: *corpus})
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer cs.Close()
+		wopt.Corpus = cs
+	}
+	worker, err := morrigan.NewFabricWorker(wopt)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := worker.Run(ctx); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric: %s exiting after %d jobs\n", wopt.Name, worker.JobsRun())
+}
+
+// emitJSON writes whatever the recorder collected; on a failed campaign that
+// is every completed simulation.
+func emitJSON(rec *morrigan.CampaignRecorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	c := rec.Campaign()
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.WriteJSON(w); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fabric: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,6 +15,9 @@
 //	morrigansim -workload qmm-srv-07 -config spec.json
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -journal run.journal
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -journal run.journal -resume
+//	morrigansim -workload qmm-srv-01,qmm-srv-02 -results results/
+//	morrigansim -workload qmm-srv-01,qmm-srv-02 -fabric :9090
+//	morrigansim -workload qmm-srv-01 -smt qmm-srv-19 -dry-run
 package main
 
 import (
@@ -59,6 +62,9 @@ func main() {
 		confOut   = flag.String("dump-config", "", "write the machine spec as JSON to this file ('-' for stdout) and exit")
 		journal   = flag.String("journal", "", "checkpoint completed simulations to this journal file")
 		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
+		results   = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
+		fabricURL = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		dryRun    = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
 	)
@@ -141,6 +147,12 @@ func main() {
 	}
 
 	cjobs := buildJobs(*workload, *traceFile, *smt, spec, *warmup, *measure)
+	if *dryRun {
+		for _, j := range cjobs {
+			fmt.Println(j.Describe())
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -176,8 +188,20 @@ func main() {
 			Config: morrigan.TelemetryConfig{Interval: *interval, EventBuffer: *events},
 		}
 	}
+	if *results != "" {
+		rs, err := morrigan.OpenResultStore(*results)
+		if err != nil {
+			fatal("results: %v", err)
+		}
+		if rs.Len() > 0 || rs.Skipped() > 0 {
+			fmt.Fprintf(os.Stderr, "morrigansim: result store holds %d reusable results (%d unverifiable skipped)\n",
+				rs.Len(), rs.Skipped())
+		}
+		opt.Store = rs
+	}
+	var srv *morrigan.ObservabilityServer
 	if *serve != "" {
-		srv := morrigan.NewObservabilityServer()
+		srv = morrigan.NewObservabilityServer()
 		addr, err := srv.Start(*serve)
 		if err != nil {
 			fatal("serve: %v", err)
@@ -185,10 +209,29 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "morrigansim: observability on http://%s/metrics\n", addr)
 		opt.Observer = srv
+		if opt.Journal != nil {
+			srv.AddReadiness("journal", opt.Journal.Writable)
+		}
 	}
-	results, err := morrigan.RunCampaign(ctx, cjobs, opt)
+	if *fabricURL != "" {
+		coord := morrigan.NewFabricCoordinator(morrigan.FabricCoordinatorOptions{
+			Corpus: store,
+			Log:    os.Stderr,
+		})
+		addr, err := coord.Start(*fabricURL)
+		if err != nil {
+			fatal("fabric: %v", err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(os.Stderr, "morrigansim: fabric coordinator on http://%s/fabric/status — start workers with: fabric work -coordinator http://%s\n", addr, addr)
+		opt.Remote = coord
+		if srv != nil {
+			srv.AddGaugeSource(coord.Gauges)
+		}
+	}
+	campaignResults, err := morrigan.RunCampaign(ctx, cjobs, opt)
 
-	for i, res := range results {
+	for i, res := range campaignResults {
 		if res.Err != nil {
 			fmt.Fprintf(os.Stderr, "morrigansim: %s: %v\n", res.Job.Workload, res.Err)
 			continue
@@ -204,9 +247,9 @@ func main() {
 			fmt.Printf("telemetry       %s\n", res.TelemetryPath)
 		}
 	}
-	writeCampaign(*jsonOut, results, (*morrigan.Campaign).WriteJSON)
-	writeCampaign(*csvOut, results, (*morrigan.Campaign).WriteCSV)
-	writeBench(*benchOut, results, store)
+	writeCampaign(*jsonOut, campaignResults, (*morrigan.Campaign).WriteJSON)
+	writeCampaign(*csvOut, campaignResults, (*morrigan.Campaign).WriteCSV)
+	writeBench(*benchOut, campaignResults, store)
 	if err != nil {
 		os.Exit(1)
 	}

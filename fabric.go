@@ -1,0 +1,59 @@
+package morrigan
+
+import (
+	"morrigan/internal/fabric"
+	"morrigan/internal/resultstore"
+	"morrigan/internal/runner"
+)
+
+// Distributed campaign fabric (see internal/fabric): a coordinator that
+// enumerates a campaign's jobs and serves a lease/heartbeat/submit HTTP API,
+// plus stateless workers that pull jobs, simulate them with the campaign
+// runner, and stream results back. Merged campaign output is byte-identical
+// to a single-process run at any worker count.
+type (
+	// FabricCoordinator owns a campaign's distributed execution. Attach it
+	// to CampaignOptions.Remote (or ExperimentOptions.Remote), Start it on
+	// an address, and point FabricWorkers at that address.
+	FabricCoordinator = fabric.Coordinator
+	// FabricCoordinatorOptions configures a coordinator (lease TTL, corpus
+	// serving, logging).
+	FabricCoordinatorOptions = fabric.CoordinatorOptions
+	// FabricStatus is the coordinator's /fabric/status snapshot.
+	FabricStatus = fabric.CoordinatorStatus
+	// FabricWorker is a stateless pull-based campaign worker.
+	FabricWorker = fabric.Worker
+	// FabricWorkerOptions configures a worker (coordinator URL, local
+	// corpus store, logging).
+	FabricWorkerOptions = fabric.WorkerOptions
+)
+
+// NewFabricCoordinator returns a detached coordinator; Start it to serve.
+func NewFabricCoordinator(opt FabricCoordinatorOptions) *FabricCoordinator {
+	return fabric.NewCoordinator(opt)
+}
+
+// NewFabricWorker returns a worker; its Run method pulls jobs until the
+// context ends or the coordinator goes away.
+func NewFabricWorker(opt FabricWorkerOptions) (*FabricWorker, error) {
+	return fabric.NewWorker(opt)
+}
+
+// Durable result storage (see internal/resultstore): an on-disk
+// content-addressed store of completed simulation results keyed by canonical
+// job key, shared across runs and machines.
+type (
+	// CampaignResultStore is the durable result layer campaigns consult and
+	// fill (CampaignOptions.Store / ExperimentOptions.Store).
+	CampaignResultStore = runner.ResultStore
+	// ResultStore is the on-disk implementation.
+	ResultStore = resultstore.Store
+	// ResultStoreRecord is one stored result with its key components.
+	ResultStoreRecord = resultstore.Record
+)
+
+// OpenResultStore opens (creating if necessary) an on-disk result store,
+// verifying every stored record's checksum and key derivation on the way in.
+func OpenResultStore(dir string) (*ResultStore, error) {
+	return resultstore.Open(dir)
+}

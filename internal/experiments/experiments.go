@@ -78,6 +78,24 @@ type Options struct {
 	// — e.g. the baseline column repeated by many figures at the same
 	// Options scale — simulate exactly once. Rendered tables are unaffected.
 	Cache *runner.ResultCache
+	// Store, when non-nil, is the durable cross-run result layer: jobs whose
+	// keys it already holds are served without simulating, and completed
+	// jobs are persisted into it (see runner.ResultStore and
+	// internal/resultstore). Rendered tables are unaffected — stored stats
+	// are the original run's, bit for bit.
+	Store runner.ResultStore
+	// Remote, when non-nil, delegates keyed jobs to fabric workers instead
+	// of simulating them locally (see runner.RemoteExecutor and
+	// internal/fabric). Rendered tables are byte-identical to local runs at
+	// any worker count — jobs are merged in deterministic order and
+	// simulation is deterministic.
+	Remote runner.RemoteExecutor
+	// DryRun, when non-nil, prints each campaign's enumerated jobs (one
+	// runner.Job.Describe line each) to it instead of simulating. Every
+	// result is zero-valued, so rendered tables are meaningless — dry runs
+	// are for inspecting what a campaign would simulate (keys, spec hashes,
+	// scale) and what a warm journal, store or fabric would be asked for.
+	DryRun io.Writer
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -167,6 +185,12 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 			Instrument: j.instrument,
 		}
 	}
+	if o.DryRun != nil {
+		for _, rj := range rjobs {
+			fmt.Fprintln(o.DryRun, rj.Describe())
+		}
+		return make([]sim.Stats, len(rjobs)), nil
+	}
 	ropt := runner.Options{
 		Workers:   o.Jobs,
 		Progress:  runner.WriterProgress(o.Progress),
@@ -174,6 +198,8 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		Observer:  o.Observer,
 		Journal:   o.Journal,
 		Cache:     o.Cache,
+		Store:     o.Store,
+		Remote:    o.Remote,
 	}
 	if o.Corpus != nil {
 		ropt.NewReader = func(w workloads.Spec) (trace.Reader, error) {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// getStatus fetches a path and returns (status, body) without failing on
+// non-200s — readiness legitimately answers 503.
+func getStatus(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestHealthzSplit covers the liveness/readiness split: liveness is
+// unconditional "ok" (so existing `/healthz | grep ok` probes keep working),
+// while readiness tracks campaign attachment and registered checks.
+func TestHealthzSplit(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Liveness answers ok from the first moment, on both paths.
+	for _, path := range []string{"/healthz", "/healthz/live"} {
+		status, body := getStatus(t, ts, path)
+		if status != http.StatusOK || body != "ok\n" {
+			t.Errorf("GET %s = %d %q, want 200 ok", path, status, body)
+		}
+	}
+
+	// Readiness is 503 until a campaign attaches.
+	status, body := getStatus(t, ts, "/healthz/ready")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "no campaign attached") {
+		t.Errorf("ready before attach = %d %q, want 503 no campaign attached", status, body)
+	}
+
+	srv.CampaignStarted(3)
+	if status, body = getStatus(t, ts, "/healthz/ready"); status != http.StatusOK || body != "ok\n" {
+		t.Errorf("ready after attach = %d %q, want 200 ok", status, body)
+	}
+
+	// A failing registered check flips readiness to 503 and names itself.
+	// The check runs on handler goroutines, so guard the injected error.
+	var (
+		mu       sync.Mutex
+		checkErr error
+	)
+	setErr := func(err error) { mu.Lock(); checkErr = err; mu.Unlock() }
+	srv.AddReadiness("journal", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return checkErr
+	})
+	if status, _ = getStatus(t, ts, "/healthz/ready"); status != http.StatusOK {
+		t.Errorf("ready with healthy check = %d, want 200", status)
+	}
+	setErr(errors.New("read-only filesystem"))
+	status, body = getStatus(t, ts, "/healthz/ready")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "journal: read-only filesystem") {
+		t.Errorf("ready with failing check = %d %q, want 503 naming the check", status, body)
+	}
+	// Liveness is unaffected by a failing readiness check.
+	if status, _ = getStatus(t, ts, "/healthz/live"); status != http.StatusOK {
+		t.Errorf("liveness = %d while readiness fails, want 200", status)
+	}
+
+	// Recovery flips readiness back without re-registration.
+	setErr(nil)
+	if status, _ = getStatus(t, ts, "/healthz/ready"); status != http.StatusOK {
+		t.Errorf("ready after recovery = %d, want 200", status)
+	}
+
+	// Re-registering a name replaces the check rather than stacking it.
+	srv.AddReadiness("journal", func() error { return errors.New("replaced") })
+	status, body = getStatus(t, ts, "/healthz/ready")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "journal: replaced") {
+		t.Errorf("ready after replacing check = %d %q, want the replacement's error", status, body)
+	}
+}
+
+// TestGaugeSources: externally sourced gauges (the fabric coordinator's
+// mechanism) appear in /metrics with HELP/TYPE lines and the exposition
+// stays valid.
+func TestGaugeSources(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var value atomic.Int64 // sources run on scrape goroutines
+	value.Store(3)
+	srv.AddGaugeSource(func() []Gauge {
+		return []Gauge{
+			{Name: "morrigan_fabric_jobs_pending", Help: "Fabric jobs awaiting a worker lease.", Value: float64(value.Load())},
+			{Name: "morrigan_fabric_workers", Help: "Distinct workers.", Value: 2},
+		}
+	})
+
+	body := string(get(t, ts, "/metrics"))
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition with gauge source invalid: %v\n%s", err, body)
+	}
+	vals, err := ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["morrigan_fabric_jobs_pending"]; got != 3 {
+		t.Errorf("morrigan_fabric_jobs_pending = %v, want 3", got)
+	}
+	if got := vals["morrigan_fabric_workers"]; got != 2 {
+		t.Errorf("morrigan_fabric_workers = %v, want 2", got)
+	}
+	if !strings.Contains(body, "# HELP morrigan_fabric_jobs_pending Fabric jobs awaiting a worker lease.") {
+		t.Error("gauge HELP line missing from exposition")
+	}
+
+	// Sources are sampled at scrape time, not registration time.
+	value.Store(7)
+	vals, err = ParseExposition(strings.NewReader(string(get(t, ts, "/metrics"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals["morrigan_fabric_jobs_pending"]; got != 7 {
+		t.Errorf("re-scraped morrigan_fabric_jobs_pending = %v, want 7", got)
+	}
+}

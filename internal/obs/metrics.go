@@ -134,4 +134,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.sample("morrigan_host_goroutines", nil, float64(runtime.NumGoroutine()))
 	p.metric("morrigan_scrapes_total", "Scrapes served by this /metrics endpoint.", "counter")
 	p.sample("morrigan_scrapes_total", nil, float64(scrapes))
+
+	// Externally registered gauges (e.g. fabric coordinator state).
+	s.mu.Lock()
+	sources := append([]func() []Gauge(nil), s.gaugeSources...)
+	s.mu.Unlock()
+	for _, src := range sources {
+		for _, g := range src() {
+			p.metric(g.Name, g.Help, "gauge")
+			p.sample(g.Name, nil, g.Value)
+		}
+	}
 }

@@ -11,7 +11,9 @@
 //   - GET /campaign — the same state as one JSON document;
 //   - GET /events — a Server-Sent-Events stream of telemetry interval
 //     samples and job lifecycle transitions, in arrival order;
-//   - GET /healthz — liveness;
+//   - GET /healthz, /healthz/live — liveness; GET /healthz/ready —
+//     readiness (503 until a campaign attaches, or while any registered
+//     readiness check — e.g. journal writability — fails);
 //   - /debug/pprof/* — the standard Go profiler endpoints.
 //
 // The server is purely observational: it reads only the probes'
@@ -76,6 +78,9 @@ type Server struct {
 
 	scrapes uint64 // /metrics requests served (a counter metric)
 
+	gaugeSources []func() []Gauge        // extra /metrics gauges (see AddGaugeSource)
+	readiness    map[string]func() error // named readiness checks (see AddReadiness)
+
 	hub *hub
 	mux *http.ServeMux
 
@@ -88,15 +93,18 @@ type Server struct {
 // Handler() on an httptest server instead).
 func New() *Server {
 	s := &Server{
-		started: time.Now(),
-		active:  make(map[int]*jobState),
-		hub:     newHub(),
-		mux:     http.NewServeMux(),
+		started:   time.Now(),
+		active:    make(map[int]*jobState),
+		readiness: make(map[string]func() error),
+		hub:       newHub(),
+		mux:       http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/campaign", s.handleCampaign)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/healthz/live", s.handleHealthz)
+	s.mux.HandleFunc("/healthz/ready", s.handleReady)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -304,8 +312,72 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(st)
 }
 
-// handleHealthz is the liveness endpoint.
+// Gauge is one externally sourced /metrics gauge sample. Subsystems that are
+// not runner observers (e.g. the fabric coordinator) publish their state
+// through AddGaugeSource instead of implementing scrape plumbing of their
+// own.
+type Gauge struct {
+	// Name is the full metric name (e.g. "morrigan_fabric_jobs_pending").
+	Name string
+	// Help is the metric's # HELP line text.
+	Help string
+	// Value is the sample value at scrape time.
+	Value float64
+}
+
+// AddGaugeSource registers a function called on every /metrics scrape; the
+// gauges it returns are appended to the exposition. Sources must be safe for
+// concurrent use and should be cheap — they run inline in the scrape.
+func (s *Server) AddGaugeSource(src func() []Gauge) {
+	s.mu.Lock()
+	s.gaugeSources = append(s.gaugeSources, src)
+	s.mu.Unlock()
+}
+
+// AddReadiness registers a named readiness check: /healthz/ready reports 503
+// with the check's error while it fails. Checks must be safe for concurrent
+// use. Registering the same name again replaces the check.
+func (s *Server) AddReadiness(name string, check func() error) {
+	s.mu.Lock()
+	s.readiness[name] = check
+	s.mu.Unlock()
+}
+
+// handleHealthz is the liveness endpoint (also mounted at /healthz/live): it
+// answers "ok" whenever the process can serve HTTP at all, with no judgement
+// about campaign state — that is readiness's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the readiness endpoint: 503 until a campaign has attached
+// (CampaignStarted ran), and 503 with the failing check's name and error
+// while any registered readiness check fails — e.g. a checkpoint journal
+// whose filesystem stopped accepting writes.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	attached := s.totalJobs > 0
+	names := make([]string, 0, len(s.readiness))
+	checks := make([]func() error, 0, len(s.readiness))
+	for name, check := range s.readiness {
+		names = append(names, name)
+		checks = append(checks, check)
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !attached {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no campaign attached")
+		return
+	}
+	for i, check := range checks {
+		if err := check(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "%s: %v\n", names[i], err)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }

@@ -14,22 +14,57 @@ import (
 // JournalSchemaVersion identifies the checkpoint-journal file format.
 const JournalSchemaVersion = 1
 
+// syncWriter is the journal's durable byte sink: an *os.File in production,
+// an injected failing implementation in the write/sync error-path tests.
+type syncWriter interface {
+	io.Writer
+	Sync() error
+}
+
 // Journal is the crash-safe campaign checkpoint: an append-only JSONL file
-// of completed JobKey → Stats records. Every append is a single line
-// followed by an fsync, so at any kill point the file is a valid journal
-// plus at most one torn trailing line, which resume tolerates by truncating
-// it. Keys are re-derived from each record's stored components on load, so a
-// record whose key no longer matches (a spec-hash or key-derivation version
-// bump, or hand-edited components) is discarded and its job simply re-runs.
+// of completed JobKey → Stats records. Every append is durable before Append
+// returns — the record's bytes are written and fsynced — so at any kill
+// point the file is a valid journal plus at most one torn trailing line,
+// which resume tolerates by truncating it. Keys are re-derived from each
+// record's stored components on load, so a record whose key no longer
+// matches (a spec-hash or key-derivation version bump, or hand-edited
+// components) is discarded and its job simply re-runs.
+//
+// Concurrent appends group-commit: each caller marshals and dedup-checks its
+// own record under the index lock, stages the bytes into the open batch, and
+// the first caller to reach the commit lock writes and fsyncs the whole
+// batch with a single write+sync. A campaign's worker pool therefore pays
+// ~one fsync per batch of concurrently finishing jobs instead of one fsync
+// per job, without weakening durability: Append still does not return until
+// the batch holding its record has been synced.
 //
 // A Journal only ever stores succeeded, data-identified jobs: failed jobs,
 // instrumented jobs and NewThreads jobs are skipped (see Job.Key). It is
 // safe for concurrent use by the campaign worker pool.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
+	// mu guards seen, batch and err. It is never held across file I/O.
+	mu    sync.Mutex
+	seen  map[string]sim.Stats
+	batch *journalBatch
+	err   error // sticky first write/sync failure, for Writable
+
+	// commitMu serializes batch commits; the holder is the only goroutine
+	// writing to w.
+	commitMu sync.Mutex
+
+	w    syncWriter
+	f    *os.File // same object as w in production; kept for Close/Truncate
 	path string
-	seen map[string]sim.Stats
+}
+
+// journalBatch is one group-commit unit: the staged bytes of one or more
+// records plus the keys they cover, resolved all-or-nothing by the first
+// staging goroutine to reach the commit lock.
+type journalBatch struct {
+	buf  []byte
+	keys []string
+	done chan struct{}
+	err  error
 }
 
 // journalHeader is the file's first line.
@@ -66,7 +101,7 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runner: journal: %w", err)
 		}
-		j.f = f
+		j.f, j.w = f, f
 		if err := j.writeHeader(); err != nil {
 			f.Close()
 			return nil, err
@@ -77,7 +112,7 @@ func OpenJournal(path string, resume bool) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runner: journal: %w", err)
 	}
-	j.f = f
+	j.f, j.w = f, f
 	valid, err := j.load()
 	if err != nil {
 		f.Close()
@@ -108,10 +143,10 @@ func (j *Journal) writeHeader() error {
 	if err != nil {
 		return fmt.Errorf("runner: journal: %w", err)
 	}
-	if _, err := j.f.Write(append(b, '\n')); err != nil {
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("runner: journal: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.w.Sync(); err != nil {
 		return fmt.Errorf("runner: journal: %w", err)
 	}
 	return nil
@@ -163,16 +198,12 @@ func (j *Journal) load() (validOffset int64, err error) {
 }
 
 // Append journals one completed job: no-op for failed jobs, jobs without a
-// data-only identity, and keys already journaled. The record is fsynced
-// before Append returns, so a later crash cannot lose it.
+// data-only identity, and keys already journaled. The record is durable —
+// written and fsynced, possibly as part of a batch with other concurrently
+// appended records — before Append returns, so a later crash cannot lose it.
 func (j *Journal) Append(res Result) error {
 	key, ok := res.Job.Key()
 	if !ok || res.Err != nil {
-		return nil
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, dup := j.seen[key]; dup {
 		return nil
 	}
 	hashes := make([]string, len(res.Job.Workloads))
@@ -195,14 +226,65 @@ func (j *Journal) Append(res Result) error {
 	if err != nil {
 		return fmt.Errorf("runner: journal: %w", err)
 	}
-	if _, err := j.f.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("runner: journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("runner: journal: %w", err)
+
+	// Stage: dedup-check and claim the key, then add the line to the open
+	// batch, all under the index lock — never across I/O.
+	j.mu.Lock()
+	if _, dup := j.seen[key]; dup {
+		j.mu.Unlock()
+		return nil
 	}
 	j.seen[key] = res.Stats
-	return nil
+	batch := j.batch
+	if batch == nil {
+		batch = &journalBatch{done: make(chan struct{})}
+		j.batch = batch
+	}
+	batch.buf = append(batch.buf, b...)
+	batch.buf = append(batch.buf, '\n')
+	batch.keys = append(batch.keys, key)
+	j.mu.Unlock()
+
+	// Commit: the first stager through commitMu writes and syncs the whole
+	// batch (including records staged by others while it waited); later
+	// stagers of the same batch find it already resolved and just return
+	// its verdict.
+	j.commitMu.Lock()
+	select {
+	case <-batch.done:
+		j.commitMu.Unlock()
+		return batch.err
+	default:
+	}
+	j.mu.Lock()
+	if j.batch == batch {
+		j.batch = nil // detach: records staged from here on open a new batch
+	}
+	j.mu.Unlock()
+	_, werr := j.w.Write(batch.buf)
+	serr := j.w.Sync()
+	err = werr
+	if err == nil {
+		err = serr
+	}
+	if err != nil {
+		err = fmt.Errorf("runner: journal: %w", err)
+		// The batch's records are not durably journaled: un-claim their keys
+		// so a retry (or a resumed run) does not believe them checkpointed,
+		// and record the failure for Writable.
+		j.mu.Lock()
+		for _, k := range batch.keys {
+			delete(j.seen, k)
+		}
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+	}
+	batch.err = err
+	close(batch.done)
+	j.commitMu.Unlock()
+	return err
 }
 
 // Lookup returns the journaled stats for key, if present.
@@ -220,9 +302,33 @@ func (j *Journal) Len() int {
 	return len(j.seen)
 }
 
+// Writable reports whether the journal can still take checkpoints: nil when
+// healthy, the first write/sync failure (or a stat failure on the underlying
+// file) otherwise. It is the journal's readiness probe — a campaign whose
+// journal has gone read-only is up but should not take on work it cannot
+// checkpoint.
+func (j *Journal) Writable() error {
+	j.mu.Lock()
+	err := j.err
+	f := j.f
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		if _, serr := f.Stat(); serr != nil {
+			return fmt.Errorf("runner: journal: %w", serr)
+		}
+	}
+	return nil
+}
+
 // Close releases the underlying file.
 func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	j.commitMu.Lock()
+	defer j.commitMu.Unlock()
+	if j.f == nil {
+		return nil
+	}
 	return j.f.Close()
 }

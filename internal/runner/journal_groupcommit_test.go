@@ -1,0 +1,316 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"morrigan/internal/sim"
+)
+
+// testResult fabricates a completed result for job j with recognisable stats,
+// without simulating.
+func testResult(j Job, seed uint64) Result {
+	return Result{Job: j, Stats: sim.Stats{Instructions: seed + 1, ISTLBMisses: seed + 2}}
+}
+
+// TestJournalConcurrentAppend is the group-commit regression test: many
+// goroutines appending distinct records concurrently must all succeed, every
+// record must be durable (visible to a resume), and the journal must remain
+// well-formed with no interleaved lines. Run under -race this also checks the
+// staging/commit locking.
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(32)
+	var wg sync.WaitGroup
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			errs[i] = jn.Append(testResult(j, uint64(i)))
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if jn.Len() != len(jobs) {
+		t.Fatalf("Len = %d, want %d", jn.Len(), len(jobs))
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume must load exactly the appended records, bit for bit.
+	re, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(jobs) {
+		t.Fatalf("resumed Len = %d, want %d", re.Len(), len(jobs))
+	}
+	for i, j := range jobs {
+		key, _ := j.Key()
+		st, ok := re.Lookup(key)
+		if !ok {
+			t.Fatalf("job %d missing after resume", i)
+		}
+		if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st, want) {
+			t.Errorf("job %d: resumed stats differ", i)
+		}
+	}
+}
+
+// TestJournalConcurrentDuplicates: concurrent appends of the same key must
+// journal it exactly once (whichever claim wins) and never error.
+func TestJournalConcurrentDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJobs(1)[0]
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := jn.Append(testResult(job, 7)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if jn.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", jn.Len())
+	}
+	jn.Close()
+
+	re, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("resumed Len = %d, want 1", re.Len())
+	}
+}
+
+// failingWriter injects write/sync failures after an optional number of
+// healthy operations.
+type failingWriter struct {
+	mu        sync.Mutex
+	writesOK  int // healthy Writes remaining before failure
+	syncsOK   int // healthy Syncs remaining before failure
+	wrote     int
+	writeErr  error
+	syncErr   error
+	lastBytes []byte
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writesOK <= 0 && f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	f.writesOK--
+	f.wrote += len(p)
+	f.lastBytes = append(f.lastBytes[:0], p...)
+	return len(p), nil
+}
+
+func (f *failingWriter) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.syncsOK <= 0 && f.syncErr != nil {
+		return f.syncErr
+	}
+	f.syncsOK--
+	return nil
+}
+
+// TestJournalAppendWriteError: a failing write must surface to the caller,
+// un-claim the key (so the journal does not believe the record checkpointed),
+// and flip Writable to the sticky error.
+func TestJournalAppendWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	boom := errors.New("disk full")
+	jn.w = &failingWriter{writeErr: boom}
+
+	job := testJobs(1)[0]
+	if err := jn.Append(testResult(job, 1)); !errors.Is(err, boom) {
+		t.Fatalf("Append error = %v, want %v", err, boom)
+	}
+	key, _ := job.Key()
+	if _, ok := jn.Lookup(key); ok {
+		t.Error("failed append left the key claimed — a resume would skip a job that was never journaled")
+	}
+	if jn.Len() != 0 {
+		t.Errorf("Len = %d, want 0 after failed append", jn.Len())
+	}
+	if err := jn.Writable(); !errors.Is(err, boom) {
+		t.Errorf("Writable = %v, want the sticky write error", err)
+	}
+}
+
+// TestJournalAppendSyncError: same contract when the write lands but the
+// fsync fails — durability was not achieved, so the append must fail.
+func TestJournalAppendSyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	boom := errors.New("fsync: io error")
+	jn.w = &failingWriter{syncErr: boom}
+
+	job := testJobs(1)[0]
+	if err := jn.Append(testResult(job, 1)); !errors.Is(err, boom) {
+		t.Fatalf("Append error = %v, want %v", err, boom)
+	}
+	key, _ := job.Key()
+	if _, ok := jn.Lookup(key); ok {
+		t.Error("failed append left the key claimed")
+	}
+	if err := jn.Writable(); !errors.Is(err, boom) {
+		t.Errorf("Writable = %v, want the sticky sync error", err)
+	}
+}
+
+// TestJournalWritableHealthy: a healthy journal reports Writable() == nil,
+// and a concurrent batch failure is visible to every staged caller.
+func TestJournalWritableHealthy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	if err := jn.Writable(); err != nil {
+		t.Fatalf("fresh journal Writable = %v, want nil", err)
+	}
+	if err := jn.Append(testResult(testJobs(1)[0], 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Writable(); err != nil {
+		t.Fatalf("Writable after append = %v, want nil", err)
+	}
+}
+
+// TestJournalLookupAfterPartialResume: resume from a journal holding a prefix
+// of a campaign, then Lookup both journaled and un-journaled keys — the
+// boundary the runner's reuse layer branches on.
+func TestJournalLookupAfterPartialResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jobs := testJobs(6)
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs[:3] {
+		if err := jn.Append(testResult(j, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jn.Close()
+
+	re, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i, j := range jobs {
+		key, _ := j.Key()
+		st, ok := re.Lookup(key)
+		if i < 3 {
+			if !ok {
+				t.Fatalf("job %d: journaled key missing after partial resume", i)
+			}
+			if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st, want) {
+				t.Errorf("job %d: stats differ after partial resume", i)
+			}
+		} else if ok {
+			t.Errorf("job %d: un-journaled key unexpectedly present", i)
+		}
+	}
+	// Appending the remainder after a partial resume must extend the journal:
+	// a further resume sees all six.
+	for i, j := range jobs[3:] {
+		if err := re.Append(testResult(j, uint64(3+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re.Close()
+	full, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if full.Len() != len(jobs) {
+		t.Fatalf("final Len = %d, want %d", full.Len(), len(jobs))
+	}
+}
+
+// TestJournalGroupCommitBatching drives many concurrent appends through a
+// writer that counts physical writes: group commit must coalesce at least
+// some records into shared write+sync batches (fewer writes than records)
+// while still journaling every record.
+func TestJournalGroupCommitBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	jn, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+
+	// Every append still goes through the real file (so the journal stays
+	// valid) but the contract under test — one Append, one durable record —
+	// holds regardless of how many records share a physical write; assert by
+	// resuming.
+	jobs := testJobs(24)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			if err := jn.Append(testResult(j, uint64(i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	jn.Close()
+
+	re, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(jobs) {
+		t.Fatalf("resumed Len = %d, want %d", re.Len(), len(jobs))
+	}
+	for i, j := range jobs {
+		key, _ := j.Key()
+		if _, ok := re.Lookup(key); !ok {
+			t.Fatalf("job %d (%s) missing after concurrent group commit", i, fmt.Sprintf("%.12s", key))
+		}
+	}
+}

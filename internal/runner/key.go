@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+	"strings"
 )
 
 // jobKeyVersion is folded into every job key so a deliberate change to the
@@ -32,6 +34,50 @@ func (j Job) Key() (string, bool) {
 		hashes[i] = w.Hash()
 	}
 	return jobKey(j.Machine.Hash(), hashes, j.Warmup, j.Measure), true
+}
+
+// DeriveJobKey derives the canonical job key from already-computed component
+// hashes — the same derivation Job.Key performs. Persistence layers that
+// store keys next to their components (the checkpoint journal, the on-disk
+// result store) re-derive keys through this function on load to verify that
+// a stored record still matches what its components hash to today; a
+// mismatch (stale hash version, hand-edited record) means the record must be
+// discarded so the job re-runs rather than reusing a wrong result.
+func DeriveJobKey(machineHash string, workloadHashes []string, warmup, measure uint64) string {
+	return jobKey(machineHash, workloadHashes, warmup, measure)
+}
+
+// Describe renders the job's enumeration line for -dry-run output: display
+// name, canonical key (or "unkeyed" with the reason), machine hash, workload
+// hashes and scale — everything the checkpoint journal, result store and
+// fabric coordinator would identify the job by, without simulating it.
+func (j Job) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  ", j.Name())
+	if key, ok := j.Key(); ok {
+		fmt.Fprintf(&b, "key=%s", key)
+	} else {
+		reason := "no-workloads"
+		switch {
+		case j.Instrument != nil:
+			reason = "instrumented"
+		case j.NewThreads != nil:
+			reason = "newthreads"
+		}
+		fmt.Fprintf(&b, "key=unkeyed(%s)", reason)
+	}
+	fmt.Fprintf(&b, " machine=%s workloads=", j.Machine.Hash())
+	for i, w := range j.Workloads {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(w.Hash())
+	}
+	if len(j.Workloads) == 0 {
+		b.WriteByte('-')
+	}
+	fmt.Fprintf(&b, " warmup=%d measure=%d", j.Warmup, j.Measure)
+	return b.String()
 }
 
 // jobKey derives the canonical key from already-computed component hashes.

@@ -42,9 +42,10 @@ type Record struct {
 	// and diffs are unaffected.)
 	Telemetry string `json:"telemetry,omitempty"`
 	// Reused marks results served without simulating: "cache" (in-process
-	// result cache) or "journal" (checkpoint resume). Stats are the
-	// original run's; the throughput fields are zero, since this job cost
-	// nothing. (JSON only — the CSV column set is unchanged.)
+	// result cache), "journal" (checkpoint resume) or "store" (on-disk
+	// cross-run result store). Stats are the original run's; the throughput
+	// fields are zero, since this job cost nothing. (JSON only — the CSV
+	// column set is unchanged.)
 	Reused string `json:"reused,omitempty"`
 	// Stats is the full measurement snapshot.
 	Stats *sim.Stats `json:"stats,omitempty"`

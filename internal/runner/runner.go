@@ -126,7 +126,38 @@ type Result struct {
 const (
 	ReusedCache   = "cache"
 	ReusedJournal = "journal"
+	ReusedStore   = "store"
 )
+
+// ResultStore is the durable cross-run result layer: a persistent map from
+// canonical job keys (Job.Key) to completed results, shared across processes
+// and machines. internal/resultstore implements it as an on-disk
+// content-addressed store. Jobs whose key the store already holds are served
+// without simulating (Result.Reused = ReusedStore); completed jobs are put
+// back so later runs — on any machine sharing the store — reuse them.
+// Implementations must be safe for concurrent use.
+type ResultStore interface {
+	// Lookup returns the stored stats for key, if present.
+	Lookup(key string) (sim.Stats, bool)
+	// Put persists one completed result under key. Duplicate puts resolve
+	// first-write-wins: a put whose stats equal the stored record is a
+	// no-op, and one whose stats differ is an error — a stored result must
+	// never change underneath consumers that already merged it.
+	Put(key string, res Result) error
+}
+
+// RemoteExecutor executes keyed jobs somewhere other than this process — the
+// attach surface of the distributed campaign fabric (internal/fabric), whose
+// coordinator hands jobs to pull-based workers over HTTP. Only jobs with a
+// data-only identity are delegated; instrumented and NewThreads jobs (whose
+// closures cannot cross a process boundary) always execute locally.
+type RemoteExecutor interface {
+	// ExecuteRemote runs the job elsewhere and returns its result. The
+	// returned error reports delegation failures (coordinator shut down,
+	// context cancelled); a job that executed remotely and failed comes
+	// back as (Result{Err: ...}, nil) just as local execution would.
+	ExecuteRemote(ctx context.Context, job Job, key string) (Result, error)
+}
 
 // Options configures a campaign run.
 type Options struct {
@@ -157,6 +188,16 @@ type Options struct {
 	// across campaigns when shared — so each distinct (config, workload,
 	// scale) triple simulates exactly once.
 	Cache *ResultCache
+	// Store, when non-nil, is the durable result layer: keyed jobs already
+	// present are served without simulating, and completed keyed jobs are
+	// persisted so results dedup across runs and across machines (see
+	// ResultStore and internal/resultstore).
+	Store ResultStore
+	// Remote, when non-nil, delegates keyed jobs to remote workers instead
+	// of simulating them on this process's worker pool (see RemoteExecutor
+	// and internal/fabric). Reuse layers still apply: only jobs missing
+	// from the journal, store and cache are delegated.
+	Remote RemoteExecutor
 }
 
 // Observer receives campaign lifecycle notifications, the attach surface of
@@ -273,15 +314,16 @@ func firstError(ctx context.Context, results []Result) error {
 	return nil
 }
 
-// executeShared wraps execute with the two key-based reuse layers: the
-// checkpoint journal (completed results from a previous, interrupted run)
-// and the in-process result cache (duplicate jobs within or across the
-// current process's campaigns). Jobs without a data-only identity bypass
-// both and always execute.
+// executeShared wraps execute with the key-based reuse layers: the
+// checkpoint journal (completed results from a previous, interrupted run),
+// the durable result store (completed results from any previous run, on any
+// machine sharing the store), and the in-process result cache (duplicate
+// jobs within or across the current process's campaigns). Jobs without a
+// data-only identity bypass all of them and always execute locally.
 func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 	key, keyed := j.Key()
-	if !keyed || (opt.Journal == nil && opt.Cache == nil) {
-		return executeJournaled(ctx, i, j, opt, key, keyed)
+	if !keyed || (opt.Journal == nil && opt.Cache == nil && opt.Store == nil) {
+		return executePersisted(ctx, i, j, opt, key, keyed)
 	}
 	if opt.Journal != nil {
 		if st, hit := opt.Journal.Lookup(key); hit {
@@ -291,8 +333,16 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 			return Result{Job: j, Stats: st, Reused: ReusedJournal}
 		}
 	}
+	if opt.Store != nil {
+		if st, hit := opt.Store.Lookup(key); hit {
+			if opt.Cache != nil {
+				opt.Cache.publish(key, st)
+			}
+			return Result{Job: j, Stats: st, Reused: ReusedStore}
+		}
+	}
 	if opt.Cache == nil {
-		return executeJournaled(ctx, i, j, opt, key, keyed)
+		return executePersisted(ctx, i, j, opt, key, keyed)
 	}
 	e, leader := opt.Cache.acquire(key)
 	if !leader {
@@ -308,9 +358,9 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 			opt.Cache.hit()
 			return Result{Job: j, Stats: e.stats, Reused: ReusedCache}
 		}
-		return executeJournaled(ctx, i, j, opt, key, keyed)
+		return executePersisted(ctx, i, j, opt, key, keyed)
 	}
-	res := executeJournaled(ctx, i, j, opt, key, keyed)
+	res := executePersisted(ctx, i, j, opt, key, keyed)
 	if res.Err == nil {
 		opt.Cache.complete(e, res.Stats)
 	} else {
@@ -319,15 +369,36 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 	return res
 }
 
-// executeJournaled runs the job live and, on success, checkpoints the result
-// (when a journal is attached and the job is keyed). A journal write failure
-// fails the job — a checkpoint the caller asked for but silently did not get
-// would defeat resume.
-func executeJournaled(ctx context.Context, i int, j Job, opt Options, key string, keyed bool) Result {
-	res := execute(ctx, i, j, opt)
-	if keyed && opt.Journal != nil && res.Err == nil {
-		if err := opt.Journal.Append(res); err != nil {
-			res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+// executePersisted runs the job — remotely when a RemoteExecutor is attached
+// and the job is keyed, locally otherwise — and, on success, checkpoints the
+// result to the journal and persists it to the result store (whichever are
+// attached). A journal or store write failure fails the job: a checkpoint
+// the caller asked for but silently did not get would defeat resume, and a
+// store put that silently vanished would defeat cross-run reuse.
+func executePersisted(ctx context.Context, i int, j Job, opt Options, key string, keyed bool) Result {
+	var res Result
+	if keyed && opt.Remote != nil {
+		r, err := opt.Remote.ExecuteRemote(ctx, j, key)
+		if err != nil {
+			res = Result{Job: j, Err: fmt.Errorf("runner: %s: %w", j.Name(), err)}
+		} else {
+			res = r
+			res.Job = j
+		}
+	} else {
+		res = execute(ctx, i, j, opt)
+	}
+	if keyed && res.Err == nil {
+		if opt.Journal != nil {
+			if err := opt.Journal.Append(res); err != nil {
+				res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+				return res
+			}
+		}
+		if opt.Store != nil {
+			if err := opt.Store.Put(key, res); err != nil {
+				res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
+			}
 		}
 	}
 	return res

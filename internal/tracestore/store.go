@@ -3,6 +3,7 @@ package tracestore
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -268,6 +269,79 @@ func (s *Store) build(spec workloads.Spec, key string, records uint64) (*Corpus,
 		return nil, err
 	}
 	return c, nil
+}
+
+// Ingest adopts an externally produced container for spec — the fabric
+// worker's fetch-by-hash path: a worker whose local store misses a workload
+// streams the coordinator's container here instead of re-generating it. The
+// bytes are written to a temp file, fully verified (index parse plus every
+// chunk's CRC and decode — the transport is untrusted), then atomically
+// renamed into the store and registered in the manifest under spec's
+// parameter hash. An existing shorter container for the same hash is
+// superseded, exactly as a rebuild would.
+func (s *Store) Ingest(spec workloads.Spec, r io.Reader) (*Corpus, error) {
+	key := spec.Hash()
+	tmp, err := os.CreateTemp(s.opt.Dir, ".ingest-*")
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	_, err = io.Copy(tmp, r)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: ingesting %s: %w", spec.Name, err)
+	}
+	c, err := OpenFile(tmp.Name())
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: ingesting %s: %w", spec.Name, err)
+	}
+	if err := c.Verify(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tracestore: ingesting %s: %w", spec.Name, err)
+	}
+	c.Close()
+	file := fmt.Sprintf("%s-%s.mtc", sanitizeName(spec.Name), key[:12])
+	if err := os.Rename(tmp.Name(), filepath.Join(s.opt.Dir, file)); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	c, err = OpenFile(filepath.Join(s.opt.Dir, file))
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.adoptLocked(key, spec.Name, c)
+	s.manifest.Entries[key] = ManifestEntry{
+		Workload:     spec.Name,
+		File:         file,
+		Records:      c.records,
+		ChunkRecords: c.chunkRecords,
+		CreatedUnix:  time.Now().Unix(),
+	}
+	err = s.writeManifestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ContainerPath returns the on-disk path of the container materialised for
+// the given parameter hash, if the manifest has one — the coordinator's
+// fetch-by-hash surface.
+func (s *Store) ContainerPath(hash string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.manifest.Entries[hash]
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(s.opt.Dir, e.File), true
 }
 
 // writeManifestLocked persists the manifest atomically. Caller holds s.mu.
