@@ -1,4 +1,4 @@
-// Command benchdiff compares two campaign result files (the schema-v1 JSON
+// Command benchdiff compares two campaign result files (the versioned JSON
 // written by morrigansim -results-json or cmd/experiments) and reports
 // per-workload IPC, speedup and wall-clock deltas. It exits 1 when any
 // workload's IPC regressed beyond the threshold (or, with -elapsed-threshold,
@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"morrigan/internal/benchdiff"
@@ -20,11 +21,12 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: benchdiff [flags] old.json new.json\n\n")
 		fs.PrintDefaults()
@@ -33,7 +35,7 @@ func run() int {
 		"flag a workload whose IPC dropped by more than this percent (0 disables)")
 	elapsedThreshold := fs.Float64("elapsed-threshold", 0,
 		"flag a workload whose wall time grew by more than this percent (0 disables; wall time is noisy)")
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
@@ -43,12 +45,12 @@ func run() int {
 
 	oldC, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
 	newC, err := load(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
 
@@ -56,12 +58,12 @@ func run() int {
 		IPCThresholdPct:     *threshold,
 		ElapsedThresholdPct: *elapsedThreshold,
 	})
-	if err := rep.Write(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	if err := rep.Write(stdout); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
 	if rep.Regressed() {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d workload(s) regressed beyond threshold\n", len(rep.Regressions()))
+		fmt.Fprintf(stderr, "benchdiff: %d workload(s) regressed beyond threshold\n", len(rep.Regressions()))
 		return 1
 	}
 	return 0

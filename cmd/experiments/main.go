@@ -15,6 +15,7 @@
 //	experiments -exp all -results results/       # reuse stored results across runs
 //	experiments -exp all -fabric :9090           # delegate jobs to fabric workers
 //	experiments -exp fig15 -dry-run              # print enumerated jobs, simulate nothing
+//	experiments -exp fig15 -sample -corpus corpus/  # sampled mode: timed slices + 95% CIs
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,27 +34,31 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' (see -list)")
-		quick    = flag.Bool("quick", false, "reduced scale (benchmark-sized)")
-		full     = flag.Bool("full", false, "paper-scale methodology (slow)")
-		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
-		jobs     = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		out      = flag.String("out", "", "write results to a file instead of stdout")
-		jsonOut  = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
-		csvOut   = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
-		telem    = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
-		serve    = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
-		benchOut = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
-		corpus   = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
-		corpusMB = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
-		journal  = flag.String("journal", "", "checkpoint completed simulations to this journal file")
-		resume   = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
-		results  = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
-		fabric   = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
-		dryRun   = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
-		verbose  = flag.Bool("v", false, "print per-simulation progress with ETA")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		exp       = flag.String("exp", "all", "comma-separated experiment IDs, or 'all' (see -list)")
+		quick     = flag.Bool("quick", false, "reduced scale (benchmark-sized)")
+		full      = flag.Bool("full", false, "paper-scale methodology (slow)")
+		warmup    = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure   = flag.Uint64("measure", 0, "override measured instructions per run")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		out       = flag.String("out", "", "write results to a file instead of stdout")
+		jsonOut   = flag.String("json", "", "write per-simulation results as JSON to a file ('-' for stdout)")
+		csvOut    = flag.String("csv", "", "write per-simulation results as CSV to a file ('-' for stdout)")
+		telem     = flag.String("telemetry", "", "write per-simulation telemetry JSONL files into this directory")
+		serve     = flag.String("serve", "", "serve live observability HTTP on this address (e.g. :8080): /metrics, /campaign, /events, /healthz, /debug/pprof")
+		benchOut  = flag.String("bench", "", "write a BENCH_*.json throughput summary to this file ('-' for stdout)")
+		corpus    = flag.String("corpus", "", "feed workloads from materialised trace corpora in this directory (built on first use)")
+		corpusMB  = flag.Int64("corpus-cache-mb", 0, "decoded-chunk cache budget in MiB shared by all jobs (0 = default 512)")
+		journal   = flag.String("journal", "", "checkpoint completed simulations to this journal file")
+		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
+		results   = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
+		fabric    = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		sample    = flag.Bool("sample", false, "representative-interval sampling for eligible jobs: time only clustered representative slices and report extrapolated stats with 95% CIs")
+		sampleInt = flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000; measure must be a multiple)")
+		sampleK   = flag.Int("sample-clusters", 0, "sampling cluster count / representative slices per run (0 = default 8)")
+		sampleWu  = flag.Int64("sample-warmup", -1, "timed slice warmup instructions before each representative (-1 = default 25000, 0 = none)")
+		dryRun    = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
+		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -105,6 +111,33 @@ func main() {
 		defer store.Close()
 		opt.Corpus = store
 	}
+	var profiles *morrigan.SamplingProfileStore
+	if *sample {
+		p := morrigan.DefaultSamplingPolicy()
+		if *sampleInt != 0 {
+			p.Interval = *sampleInt
+		}
+		if *sampleK != 0 {
+			p.Clusters = *sampleK
+		}
+		if *sampleWu >= 0 {
+			p.SliceWarmup = uint64(*sampleWu)
+		}
+		if err := p.Validate(opt.Measure); err != nil {
+			fatal("%v", err)
+		}
+		opt.Sampling = &p
+		if *corpus != "" {
+			// Profile artifacts live beside the trace corpus so repeated
+			// sampled sweeps skip the functional profiling pass.
+			var err error
+			profiles, err = morrigan.OpenSamplingProfileStore(filepath.Join(*corpus, "profiles"))
+			if err != nil {
+				fatal("profiles: %v", err)
+			}
+			opt.Profiles = profiles
+		}
+	}
 	// One result cache for the whole sweep: experiments share baseline
 	// (machine, workload, scale) triples, so each distinct triple simulates
 	// exactly once and every later occurrence is served from the cache.
@@ -147,6 +180,9 @@ func main() {
 		opt.Observer = srv
 		if opt.Journal != nil {
 			srv.AddReadiness("journal", opt.Journal.Writable)
+		}
+		if *sample {
+			srv.AddGaugeSource(morrigan.SamplingGauges(profiles))
 		}
 	}
 	if *fabric != "" {

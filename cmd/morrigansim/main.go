@@ -18,6 +18,7 @@
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -results results/
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -fabric :9090
 //	morrigansim -workload qmm-srv-01 -smt qmm-srv-19 -dry-run
+//	morrigansim -workload qmm-srv-01 -measure 10000000 -sample -corpus corpus/
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -64,6 +66,10 @@ func main() {
 		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
 		results   = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
 		fabricURL = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		sample    = flag.Bool("sample", false, "representative-interval sampling: time only clustered representative slices and report extrapolated stats with 95% CIs")
+		sampleInt = flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000; -measure must be a multiple)")
+		sampleK   = flag.Int("sample-clusters", 0, "sampling cluster count / representative slices per run (0 = default 8)")
+		sampleWu  = flag.Int64("sample-warmup", -1, "timed slice warmup instructions before each representative (-1 = default 25000, 0 = none)")
 		dryRun    = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
@@ -147,6 +153,31 @@ func main() {
 	}
 
 	cjobs := buildJobs(*workload, *traceFile, *smt, spec, *warmup, *measure)
+	var pol *morrigan.SamplingPolicy
+	if *sample {
+		p := morrigan.DefaultSamplingPolicy()
+		if *sampleInt != 0 {
+			p.Interval = *sampleInt
+		}
+		if *sampleK != 0 {
+			p.Clusters = *sampleK
+		}
+		if *sampleWu >= 0 {
+			p.SliceWarmup = uint64(*sampleWu)
+		}
+		if err := p.Validate(*measure); err != nil {
+			fatal("%v", err)
+		}
+		pol = &p
+		for i := range cjobs {
+			// Sampling needs a single workload-described stream: trace-file
+			// jobs (NewThreads) and SMT pairs must simulate in full.
+			if cjobs[i].NewThreads != nil || len(cjobs[i].Workloads) != 1 {
+				fatal("-sample requires single-workload jobs (no -trace, no -smt)")
+			}
+			cjobs[i].Sampling = pol
+		}
+	}
 	if *dryRun {
 		for _, j := range cjobs {
 			fmt.Println(j.Describe())
@@ -157,6 +188,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := morrigan.CampaignOptions{Workers: *jobs}
+	var profiles *morrigan.SamplingProfileStore
+	if pol != nil && *corpus != "" {
+		// Profile artifacts live beside the trace corpus so repeated sampled
+		// campaigns skip the functional profiling pass.
+		var err error
+		profiles, err = morrigan.OpenSamplingProfileStore(filepath.Join(*corpus, "profiles"))
+		if err != nil {
+			fatal("profiles: %v", err)
+		}
+		opt.Profiles = profiles
+	}
 	if store != nil {
 		opt.NewReader = func(w morrigan.Workload) (morrigan.TraceReader, error) {
 			c, err := store.Materialize(w, *warmup+*measure)
@@ -212,6 +254,9 @@ func main() {
 		if opt.Journal != nil {
 			srv.AddReadiness("journal", opt.Journal.Writable)
 		}
+		if pol != nil {
+			srv.AddGaugeSource(morrigan.SamplingGauges(profiles))
+		}
 	}
 	if *fabricURL != "" {
 		coord := morrigan.NewFabricCoordinator(morrigan.FabricCoordinatorOptions{
@@ -240,6 +285,12 @@ func main() {
 			fmt.Println()
 		}
 		printStats(res.Job.Workload, pfLabel, res.Stats)
+		if o := res.Sampling; o != nil {
+			fmt.Printf("sampled         %d/%d intervals timed (%d instr timed, %d fast-forwarded)\n",
+				o.Slices, o.Intervals, o.TimedInstructions, o.FastForwarded)
+			fmt.Printf("ci95            IPC ±%.4f, iSTLB MPKI ±%.4f, dSTLB MPKI ±%.4f\n",
+				o.CI95.IPC, o.CI95.ISTLBMPKI, o.CI95.DSTLBMPKI)
+		}
 		if res.Reused != "" {
 			fmt.Printf("reused          %s\n", res.Reused)
 		}

@@ -1,4 +1,4 @@
-// Package benchdiff compares two campaign result files (the schema-v1 JSON
+// Package benchdiff compares two campaign result files (the versioned JSON
 // emitted by internal/runner) and reports per-workload performance deltas:
 // simulated IPC (did the modelled machine get slower?), speedup (new/old IPC),
 // wall-clock elapsed time and simulation throughput (did the simulator get

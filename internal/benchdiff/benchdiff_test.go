@@ -1,6 +1,7 @@
 package benchdiff
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 	"morrigan/internal/sim"
 )
 
-// campaign builds a schema-v1 campaign with one record per (workload, ipc).
+// campaign builds a current-schema campaign with one record per (workload, ipc).
 func campaign(ipcs map[string]float64) runner.Campaign {
 	c := runner.Campaign{Schema: runner.SchemaVersion}
 	for wl, ipc := range ipcs {
@@ -26,13 +27,18 @@ func campaign(ipcs map[string]float64) runner.Campaign {
 }
 
 func TestLoadRejectsBadSchema(t *testing.T) {
-	if _, err := Load(strings.NewReader(`{"schema":2,"records":[]}`)); err == nil {
-		t.Error("schema 2 accepted")
+	next := fmt.Sprintf(`{"schema":%d,"records":[]}`, runner.SchemaVersion+1)
+	if _, err := Load(strings.NewReader(next)); err == nil {
+		t.Errorf("schema %d accepted", runner.SchemaVersion+1)
+	}
+	if _, err := Load(strings.NewReader(`{"schema":0,"records":[]}`)); err == nil {
+		t.Error("schema 0 accepted")
 	}
 	if _, err := Load(strings.NewReader(`not json`)); err == nil {
 		t.Error("malformed JSON accepted")
 	}
-	c, err := Load(strings.NewReader(`{"schema":1,"records":[{"workload":"w"}]}`))
+	cur := fmt.Sprintf(`{"schema":%d,"records":[{"workload":"w"}]}`, runner.SchemaVersion)
+	c, err := Load(strings.NewReader(cur))
 	if err != nil {
 		t.Fatalf("valid file rejected: %v", err)
 	}

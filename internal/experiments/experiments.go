@@ -26,6 +26,7 @@ import (
 	"morrigan/internal/arch"
 	"morrigan/internal/machine"
 	"morrigan/internal/runner"
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 	"morrigan/internal/trace"
 	"morrigan/internal/tracestore"
@@ -96,6 +97,19 @@ type Options struct {
 	// are for inspecting what a campaign would simulate (keys, spec hashes,
 	// scale) and what a warm journal, store or fabric would be asked for.
 	DryRun io.Writer
+	// Sampling, when non-nil, runs eligible jobs — single-workload,
+	// non-instrumented — in representative-interval sampling mode (see
+	// internal/sampling): profile, cluster, simulate only representative
+	// slices, and extrapolate. Rendered tables then carry estimates with
+	// 95% confidence intervals rather than exact measurements; SMT pairs
+	// and instrumented jobs always simulate in full. Sampled jobs key
+	// differently from full runs, so a store or journal never serves one
+	// mode's results for the other.
+	Sampling *sampling.Policy
+	// Profiles, when non-nil, caches sampling profile artifacts on disk so
+	// repeated sampled campaigns skip the functional profiling pass (see
+	// sampling.ProfileStore). Only consulted when Sampling is set.
+	Profiles *sampling.ProfileStore
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -184,6 +198,13 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 			Measure:    o.Measure,
 			Instrument: j.instrument,
 		}
+		// Sampling applies only to jobs the runner can sample: one
+		// workload-described instruction stream with no instrumentation
+		// hook (a reused slice would have silently skipped the hook's
+		// side effects, and SMT pairs need both streams timed).
+		if o.Sampling != nil && len(j.specs) == 1 && j.instrument == nil {
+			rjobs[i].Sampling = o.Sampling
+		}
 	}
 	if o.DryRun != nil {
 		for _, rj := range rjobs {
@@ -200,6 +221,7 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		Cache:     o.Cache,
 		Store:     o.Store,
 		Remote:    o.Remote,
+		Profiles:  o.Profiles,
 	}
 	if o.Corpus != nil {
 		ropt.NewReader = func(w workloads.Spec) (trace.Reader, error) {

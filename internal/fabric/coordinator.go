@@ -376,6 +376,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		res.Err = fmt.Errorf("fabric: worker %s: %s", req.Worker, req.Result.Err)
 	} else {
 		res.Stats = req.Result.Stats
+		res.Sampling = req.Result.Sampling
 	}
 	e.result = res
 	e.state = stateDone

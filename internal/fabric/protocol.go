@@ -36,6 +36,7 @@ package fabric
 import (
 	"morrigan/internal/machine"
 	"morrigan/internal/runner"
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 	"morrigan/internal/trace"
 	"morrigan/internal/workloads"
@@ -64,6 +65,10 @@ type wireJob struct {
 	Workloads  []wireWorkload `json:"workloads"`
 	Warmup     uint64         `json:"warmup"`
 	Measure    uint64         `json:"measure"`
+	// Sampling crosses the wire because it is part of the canonical key:
+	// a worker that dropped it would re-derive a different key than the
+	// grant's and fail loudly at the key-skew check.
+	Sampling *sampling.Policy `json:"sampling,omitempty"`
 }
 
 // encodeJob converts a runner job to its wire form (keyed jobs only — the
@@ -82,6 +87,7 @@ func encodeJob(j runner.Job) wireJob {
 		Workloads:  ws,
 		Warmup:     j.Warmup,
 		Measure:    j.Measure,
+		Sampling:   j.Sampling,
 	}
 }
 
@@ -99,6 +105,7 @@ func decodeJob(wj wireJob) runner.Job {
 		Workloads:  ws,
 		Warmup:     wj.Warmup,
 		Measure:    wj.Measure,
+		Sampling:   wj.Sampling,
 	}
 }
 
@@ -125,12 +132,13 @@ type heartbeatRequest struct {
 
 // wireResult is a finished job's outcome on the wire.
 type wireResult struct {
-	Err             string    `json:"err,omitempty"`
-	Stats           sim.Stats `json:"stats"`
-	SimInstructions uint64    `json:"sim_instructions"`
-	ElapsedMS       float64   `json:"elapsed_ms"`
-	InstrPerSec     float64   `json:"instr_per_sec"`
-	PeakHeapBytes   uint64    `json:"peak_heap_bytes"`
+	Err             string            `json:"err,omitempty"`
+	Stats           sim.Stats         `json:"stats"`
+	SimInstructions uint64            `json:"sim_instructions"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
+	InstrPerSec     float64           `json:"instr_per_sec"`
+	PeakHeapBytes   uint64            `json:"peak_heap_bytes"`
+	Sampling        *sampling.Outcome `json:"sampling,omitempty"`
 }
 
 // submitRequest delivers a finished job's result.

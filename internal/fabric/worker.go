@@ -253,6 +253,7 @@ func (w *Worker) submit(ctx context.Context, grant leaseResponse, res runner.Res
 			ElapsedMS:       float64(res.Elapsed.Microseconds()) / 1000,
 			InstrPerSec:     res.InstrPerSec,
 			PeakHeapBytes:   res.PeakHeapBytes,
+			Sampling:        res.Sampling,
 		},
 	}
 	if res.Err != nil {

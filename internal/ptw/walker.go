@@ -260,3 +260,14 @@ func (w *Walker) ResetStats() {
 	w.prefetchWalks, w.prefetchRefs = 0, 0
 	w.droppedWalks, w.accessedMarked, w.correctingWalks = 0, 0, 0
 }
+
+// Settle frees every MSHR slot. Sampled execution calls it when the
+// simulation clock rebases between timed slices: busy-until timestamps from
+// the previous slice's clock epoch would read as far-future under the new
+// epoch, queueing demand walks behind phantom occupancy and dropping every
+// prefetch walk.
+func (w *Walker) Settle() {
+	for i := range w.busy {
+		w.busy[i] = 0
+	}
+}

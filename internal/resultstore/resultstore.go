@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"morrigan/internal/runner"
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 )
 
@@ -57,6 +58,19 @@ type Record struct {
 	Config     string    `json:"config,omitempty"`
 	Workload   string    `json:"workload,omitempty"`
 	Stats      sim.Stats `json:"stats"`
+	// Sampling marks sampled results; its policy participates in key
+	// re-derivation, so a sampled record can never be served to a full-run
+	// job or vice versa.
+	Sampling *sampling.Outcome `json:"sampling,omitempty"`
+}
+
+// policy extracts the record's sampling policy for key re-derivation,
+// nil-safe.
+func (r *Record) policy() *sampling.Policy {
+	if r.Sampling == nil {
+		return nil
+	}
+	return &r.Sampling.Policy
 }
 
 // envelope is the on-disk file shape: the record's compact JSON bytes plus a
@@ -113,12 +127,12 @@ func (s *Store) Skipped() int {
 	return s.skipped
 }
 
-// Lookup returns the stored stats for key, if present.
-func (s *Store) Lookup(key string) (sim.Stats, bool) {
+// Lookup returns the stored payload for key, if present.
+func (s *Store) Lookup(key string) (runner.Stored, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.records[key]
-	return r.Stats, ok
+	return runner.Stored{Stats: r.Stats, Sampling: r.Sampling}, ok
 }
 
 // Get returns the full stored record for key, if present.
@@ -165,8 +179,9 @@ func (s *Store) Put(key string, res runner.Result) error {
 		Config:     res.Job.Config,
 		Workload:   res.Job.Workload,
 		Stats:      res.Stats,
+		Sampling:   res.Sampling,
 	}
-	if derived := runner.DeriveJobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure); derived != key {
+	if derived := runner.DeriveSampledJobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure, rec.policy()); derived != key {
 		return fmt.Errorf("resultstore: key %.12s… does not derive from the result's components", key)
 	}
 
@@ -179,7 +194,7 @@ func (s *Store) Put(key string, res runner.Result) error {
 	}
 	s.mu.Unlock()
 	if dup {
-		if prev.Stats == rec.Stats {
+		if prev.Stats == rec.Stats && sameOutcome(prev.Sampling, rec.Sampling) {
 			return nil
 		}
 		return fmt.Errorf("resultstore: %.12s…: stats differ from the stored record (first write wins)", key)
@@ -271,6 +286,15 @@ func (s *Store) scan() error {
 	return nil
 }
 
+// sameOutcome reports whether two sampling outcomes are equal (both nil, or
+// equal by value).
+func sameOutcome(a, b *sampling.Outcome) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
 // readRecord loads and verifies one stored file: envelope schema, CRC over
 // the record bytes, and key re-derivation from the stored components.
 func readRecord(path string) (Record, error) {
@@ -278,22 +302,36 @@ func readRecord(path string) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	var env envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
+	rec, err := decodeRecord(raw)
+	if err != nil {
 		return Record{}, fmt.Errorf("resultstore: %s: %w", path, err)
 	}
+	return rec, nil
+}
+
+// decodeRecord verifies and decodes one stored file's bytes: envelope shape,
+// schema, CRC over the record bytes, and key re-derivation from the stored
+// components (including the sampling policy for sampled records). It is the
+// store's entire untrusted-input surface — corrupt bytes of any shape must
+// come back as an error, never a panic or a silently wrong record (see
+// FuzzEnvelope).
+func decodeRecord(raw []byte) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Record{}, err
+	}
 	if env.Schema != SchemaVersion {
-		return Record{}, fmt.Errorf("resultstore: %s: schema %d, want %d", path, env.Schema, SchemaVersion)
+		return Record{}, fmt.Errorf("schema %d, want %d", env.Schema, SchemaVersion)
 	}
 	if got := crc32.Checksum(env.Record, castagnoli); got != env.CRC32C {
-		return Record{}, fmt.Errorf("resultstore: %s: checksum %#08x, envelope says %#08x", path, got, env.CRC32C)
+		return Record{}, fmt.Errorf("checksum %#08x, envelope says %#08x", got, env.CRC32C)
 	}
 	var rec Record
 	if err := json.Unmarshal(env.Record, &rec); err != nil {
-		return Record{}, fmt.Errorf("resultstore: %s: %w", path, err)
+		return Record{}, err
 	}
-	if derived := runner.DeriveJobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure); derived != rec.Key {
-		return Record{}, fmt.Errorf("resultstore: %s: key does not derive from stored components", path)
+	if derived := runner.DeriveSampledJobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure, rec.policy()); derived != rec.Key {
+		return Record{}, fmt.Errorf("key does not derive from stored components")
 	}
 	return rec, nil
 }

@@ -16,7 +16,7 @@ import (
 )
 
 // testResult fabricates a completed keyed result without simulating.
-func testResult(t *testing.T, i int) (string, runner.Result) {
+func testResult(t testing.TB, i int) (string, runner.Result) {
 	t.Helper()
 	qmm := workloads.QMM()
 	j := runner.Job{
@@ -68,7 +68,7 @@ func TestStorePutLookupReopen(t *testing.T) {
 			t.Fatalf("key %d missing after reopen", i)
 		}
 		_, want := testResult(t, i)
-		if !reflect.DeepEqual(st, want.Stats) {
+		if !reflect.DeepEqual(st.Stats, want.Stats) {
 			t.Errorf("key %d: stats differ after reopen", i)
 		}
 		rec, ok := re.Get(key)
@@ -122,7 +122,7 @@ func TestStoreFirstWriteWins(t *testing.T) {
 		t.Fatal("differing duplicate put succeeded")
 	}
 	st, _ := s.Lookup(key)
-	if !reflect.DeepEqual(st, res.Stats) {
+	if !reflect.DeepEqual(st.Stats, res.Stats) {
 		t.Fatal("stored stats changed under a rejected duplicate")
 	}
 }

@@ -30,6 +30,10 @@ type Bench struct {
 	// emitted, so a sweep that should have deduplicated but did not shows
 	// an explicit zero.
 	ReusedJobs int `json:"reused_jobs"`
+	// SampledJobs counts jobs executed in sampled mode; their instruction
+	// counts cover only timing-simulated work, so sampled-mode throughput
+	// figures are not comparable to full-run ones job-for-job.
+	SampledJobs int `json:"sampled_jobs"`
 	// TotalInstructions is the sum of every job's executed instructions
 	// (warmup included).
 	TotalInstructions uint64 `json:"total_instructions"`
@@ -103,6 +107,9 @@ func NewBench(c Campaign) Bench {
 		}
 		if r.Reused != "" {
 			b.ReusedJobs++
+		}
+		if r.Sampling != nil {
+			b.SampledJobs++
 		}
 		b.TotalInstructions += r.SimInstructions
 		b.TotalElapsedMS += r.ElapsedMS

@@ -2,8 +2,6 @@ package runner
 
 import (
 	"sync"
-
-	"morrigan/internal/sim"
 )
 
 // ResultCache is the in-process cross-experiment result cache: campaign jobs
@@ -26,11 +24,11 @@ type ResultCache struct {
 }
 
 // cacheEntry is one key's slot; done is closed when the leader completes or
-// aborts, with ok reporting whether stats are valid.
+// aborts, with ok reporting whether the stored payload is valid.
 type cacheEntry struct {
-	done  chan struct{}
-	stats sim.Stats
-	ok    bool
+	done   chan struct{}
+	stored Stored
+	ok     bool
 }
 
 // NewResultCache returns an empty cache.
@@ -52,9 +50,9 @@ func (c *ResultCache) acquire(key string) (*cacheEntry, bool) {
 	return e, true
 }
 
-// complete publishes the leader's stats and releases its followers.
-func (c *ResultCache) complete(e *cacheEntry, stats sim.Stats) {
-	e.stats = stats
+// complete publishes the leader's result and releases its followers.
+func (c *ResultCache) complete(e *cacheEntry, st Stored) {
+	e.stored = st
 	e.ok = true
 	close(e.done)
 }
@@ -71,13 +69,13 @@ func (c *ResultCache) abort(key string, e *cacheEntry) {
 // publish inserts an already-completed result (a journal hit) so subsequent
 // jobs with the same key reuse it without touching the journal again. A key
 // that is already present is left alone.
-func (c *ResultCache) publish(key string, stats sim.Stats) {
+func (c *ResultCache) publish(key string, st Stored) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {
 		return
 	}
-	e := &cacheEntry{stats: stats, ok: true, done: make(chan struct{})}
+	e := &cacheEntry{stored: st, ok: true, done: make(chan struct{})}
 	close(e.done)
 	c.entries[key] = e
 }

@@ -155,17 +155,17 @@ func TestCachePublishFromJournal(t *testing.T) {
 	cache := NewResultCache()
 	job := testJobs(1)[0]
 	key, _ := job.Key()
-	want := sim.Stats{Instructions: 42}
+	want := Stored{Stats: sim.Stats{Instructions: 42}}
 	cache.publish(key, want)
-	cache.publish(key, sim.Stats{Instructions: 999}) // present: left alone
+	cache.publish(key, Stored{Stats: sim.Stats{Instructions: 999}}) // present: left alone
 
 	e, leader := cache.acquire(key)
 	if leader {
 		t.Fatal("published key elected a leader")
 	}
 	<-e.done
-	if !e.ok || e.stats.Instructions != 42 {
-		t.Errorf("published entry = ok=%v stats=%+v, want the first publish", e.ok, e.stats)
+	if !e.ok || e.stored.Stats.Instructions != 42 {
+		t.Errorf("published entry = ok=%v stats=%+v, want the first publish", e.ok, e.stored.Stats)
 	}
 }
 

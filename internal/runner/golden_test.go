@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"morrigan/internal/machine"
+	"morrigan/internal/sim"
+	"morrigan/internal/workloads"
+)
+
+// updateGolden regenerates testdata/golden_stats.json from the current
+// simulator. The committed file was captured before sampling existed, so a
+// passing TestFullRunStatsGolden proves full (non-sampled) runs still produce
+// bit-identical Stats.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenJob is the fixed job both golden tests pin: the default Table 1
+// machine on qmm-srv-01 at a small, fast scale.
+func goldenJob(t *testing.T) Job {
+	t.Helper()
+	w, ok := workloads.ByName("qmm-srv-01")
+	if !ok {
+		t.Fatal("workload qmm-srv-01 not found")
+	}
+	return Job{
+		Workload:  "qmm-srv-01",
+		Machine:   machine.Default(),
+		Workloads: []workloads.Spec{w},
+		Warmup:    50_000,
+		Measure:   200_000,
+	}
+}
+
+// goldenJobKey is goldenJob's canonical key as derived before the sampling
+// subsystem landed. Job.Key for full (non-sampled) jobs must never drift:
+// every persisted journal, result store and fabric campaign identifies
+// results by it.
+const goldenJobKey = "1700cc429492e6e54d072a516759a0c971e8763077ba39e3e3c6b4020aafb5b7"
+
+func TestJobKeyGolden(t *testing.T) {
+	key, keyed := goldenJob(t).Key()
+	if !keyed {
+		t.Fatal("golden job is unkeyed")
+	}
+	if key != goldenJobKey {
+		t.Errorf("canonical job key drifted:\n got  %s\n want %s\n"+
+			"full-run keys must be bit-identical across releases (persisted journals and stores depend on it)",
+			key, goldenJobKey)
+	}
+}
+
+// TestFullRunStatsGolden locks the full (non-sampled) execution path to the
+// pre-sampling Stats, bit for bit.
+func TestFullRunStatsGolden(t *testing.T) {
+	path := filepath.Join("testdata", "golden_stats.json")
+	results, err := Run(context.Background(), []Job{goldenJob(t)}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0].Stats
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want sim.Stats
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("full-run Stats drifted from the pre-sampling golden:\n got  %+v\n want %+v", got, want)
+	}
+}

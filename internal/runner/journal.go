@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 )
 
@@ -44,7 +45,7 @@ type syncWriter interface {
 type Journal struct {
 	// mu guards seen, batch and err. It is never held across file I/O.
 	mu    sync.Mutex
-	seen  map[string]sim.Stats
+	seen  map[string]Stored
 	batch *journalBatch
 	err   error // sticky first write/sync failure, for Writable
 
@@ -87,6 +88,11 @@ type journalRecord struct {
 	Config     string    `json:"config,omitempty"`
 	Workload   string    `json:"workload,omitempty"`
 	Stats      sim.Stats `json:"stats"`
+	// Sampling marks sampled results; its policy participates in key
+	// re-derivation on load. Absent for full runs, so pre-sampling journals
+	// load unchanged — and a sampled record read by a pre-sampling binary
+	// fails its key check and is discarded rather than misread.
+	Sampling *sampling.Outcome `json:"sampling,omitempty"`
 }
 
 // OpenJournal opens the checkpoint journal at path. With resume false the
@@ -95,7 +101,7 @@ type journalRecord struct {
 // verification) so the campaign skips already-completed jobs; a torn final
 // line from a killed run is cut off before appending resumes.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	j := &Journal{path: path, seen: make(map[string]sim.Stats)}
+	j := &Journal{path: path, seen: make(map[string]Stored)}
 	if !resume {
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
@@ -187,11 +193,12 @@ func (j *Journal) load() (validOffset int64, err error) {
 		if json.Unmarshal([]byte(line), &rec) != nil || rec.Kind != "result" {
 			return offset, nil
 		}
-		// Verify the stored key still derives from the stored components;
-		// a mismatch (stale hash version, edited file) discards the record
-		// so the job re-runs rather than reusing a wrong result.
-		if jobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure) == rec.Key {
-			j.seen[rec.Key] = rec.Stats
+		// Verify the stored key still derives from the stored components
+		// (including the sampling policy for sampled records); a mismatch
+		// (stale hash version, edited file) discards the record so the job
+		// re-runs rather than reusing a wrong result.
+		if jobKey(rec.Machine, rec.Workloads, rec.Warmup, rec.Measure, recordPolicy(rec.Sampling)) == rec.Key {
+			j.seen[rec.Key] = Stored{Stats: rec.Stats, Sampling: rec.Sampling}
 		}
 		offset += int64(len(line))
 	}
@@ -221,6 +228,7 @@ func (j *Journal) Append(res Result) error {
 		Config:     res.Job.Config,
 		Workload:   res.Job.Workload,
 		Stats:      res.Stats,
+		Sampling:   res.Sampling,
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -234,7 +242,7 @@ func (j *Journal) Append(res Result) error {
 		j.mu.Unlock()
 		return nil
 	}
-	j.seen[key] = res.Stats
+	j.seen[key] = Stored{Stats: res.Stats, Sampling: res.Sampling}
 	batch := j.batch
 	if batch == nil {
 		batch = &journalBatch{done: make(chan struct{})}
@@ -287,12 +295,20 @@ func (j *Journal) Append(res Result) error {
 	return err
 }
 
-// Lookup returns the journaled stats for key, if present.
-func (j *Journal) Lookup(key string) (sim.Stats, bool) {
+// Lookup returns the journaled payload for key, if present.
+func (j *Journal) Lookup(key string) (Stored, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st, ok := j.seen[key]
 	return st, ok
+}
+
+// recordPolicy extracts the sampling policy from a stored outcome, nil-safe.
+func recordPolicy(o *sampling.Outcome) *sampling.Policy {
+	if o == nil {
+		return nil
+	}
+	return &o.Policy
 }
 
 // Len reports how many completed jobs the journal holds.

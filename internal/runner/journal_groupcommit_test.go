@@ -66,7 +66,7 @@ func TestJournalConcurrentAppend(t *testing.T) {
 		if !ok {
 			t.Fatalf("job %d missing after resume", i)
 		}
-		if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st, want) {
+		if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st.Stats, want) {
 			t.Errorf("job %d: resumed stats differ", i)
 		}
 	}
@@ -244,7 +244,7 @@ func TestJournalLookupAfterPartialResume(t *testing.T) {
 			if !ok {
 				t.Fatalf("job %d: journaled key missing after partial resume", i)
 			}
-			if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st, want) {
+			if want := testResult(j, uint64(i)).Stats; !reflect.DeepEqual(st.Stats, want) {
 				t.Errorf("job %d: stats differ after partial resume", i)
 			}
 		} else if ok {

@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+
+	"morrigan/internal/sampling"
 )
 
 // jobKeyVersion is folded into every job key so a deliberate change to the
@@ -13,12 +15,20 @@ import (
 // persisted checkpoint journals instead of silently matching stale results.
 const jobKeyVersion = "morrigan/runner.JobKey/v1"
 
+// samplingKeyTag separates the sampled-key domain. It is appended — together
+// with the policy fields — only for sampled jobs, so every full-run key is
+// byte-identical to what pre-sampling releases derived: persisted journals,
+// result stores and fabric campaigns keep matching.
+const samplingKeyTag = "sampled"
+
 // Key returns the job's canonical identity: the SHA-256 (as lowercase hex)
-// of the machine spec hash, the workload spec hashes in thread order, and
-// the warmup/measure scale — H(machine ‖ workloads ‖ scale). Two jobs with
-// equal keys simulate the identical (config, workload, scale) triple and
-// produce bit-identical Stats, which is what the checkpoint journal and the
-// cross-experiment result cache rely on.
+// of the machine spec hash, the workload spec hashes in thread order, the
+// warmup/measure scale, and — for sampled jobs only — the sampling policy:
+// H(machine ‖ workloads ‖ scale [‖ policy]). Two jobs with equal keys
+// simulate the identical (config, workload, scale, policy) tuple and produce
+// bit-identical Stats, which is what the checkpoint journal and the
+// cross-experiment result cache rely on. A sampled job measures different
+// instruction slices than its full-run twin, so the two hash differently.
 //
 // The second return is false for jobs that have no data-only identity:
 // jobs with an Instrument hook (the capture closure observes the run, so a
@@ -33,18 +43,26 @@ func (j Job) Key() (string, bool) {
 	for i, w := range j.Workloads {
 		hashes[i] = w.Hash()
 	}
-	return jobKey(j.Machine.Hash(), hashes, j.Warmup, j.Measure), true
+	return jobKey(j.Machine.Hash(), hashes, j.Warmup, j.Measure, j.Sampling), true
 }
 
-// DeriveJobKey derives the canonical job key from already-computed component
-// hashes — the same derivation Job.Key performs. Persistence layers that
-// store keys next to their components (the checkpoint journal, the on-disk
-// result store) re-derive keys through this function on load to verify that
-// a stored record still matches what its components hash to today; a
-// mismatch (stale hash version, hand-edited record) means the record must be
-// discarded so the job re-runs rather than reusing a wrong result.
+// DeriveJobKey derives the canonical full-run job key from already-computed
+// component hashes — the same derivation Job.Key performs for non-sampled
+// jobs. Persistence layers that store keys next to their components (the
+// checkpoint journal, the on-disk result store) re-derive keys through this
+// function on load to verify that a stored record still matches what its
+// components hash to today; a mismatch (stale hash version, hand-edited
+// record) means the record must be discarded so the job re-runs rather than
+// reusing a wrong result.
 func DeriveJobKey(machineHash string, workloadHashes []string, warmup, measure uint64) string {
-	return jobKey(machineHash, workloadHashes, warmup, measure)
+	return jobKey(machineHash, workloadHashes, warmup, measure, nil)
+}
+
+// DeriveSampledJobKey is DeriveJobKey for sampled records: pol nil degrades
+// to the full-run derivation, so persistence layers can re-derive either kind
+// from one call site.
+func DeriveSampledJobKey(machineHash string, workloadHashes []string, warmup, measure uint64, pol *sampling.Policy) string {
+	return jobKey(machineHash, workloadHashes, warmup, measure, pol)
 }
 
 // Describe renders the job's enumeration line for -dry-run output: display
@@ -77,13 +95,19 @@ func (j Job) Describe() string {
 		b.WriteByte('-')
 	}
 	fmt.Fprintf(&b, " warmup=%d measure=%d", j.Warmup, j.Measure)
+	if j.Sampling != nil {
+		fmt.Fprintf(&b, " sampled=interval:%d,clusters:%d,slicewarmup:%d,seed:%d",
+			j.Sampling.Interval, j.Sampling.Clusters, j.Sampling.SliceWarmup, j.Sampling.Seed)
+	}
 	return b.String()
 }
 
 // jobKey derives the canonical key from already-computed component hashes.
 // Journal loading re-derives keys through this same function to verify that
-// a journaled record still matches what its components hash to today.
-func jobKey(machineHash string, workloadHashes []string, warmup, measure uint64) string {
+// a journaled record still matches what its components hash to today. The
+// sampling policy is folded in only when present — full-run keys are
+// unchanged from every prior release.
+func jobKey(machineHash string, workloadHashes []string, warmup, measure uint64, pol *sampling.Policy) string {
 	h := sha256.New()
 	h.Write([]byte(jobKeyVersion))
 	var buf [8]byte
@@ -102,5 +126,12 @@ func jobKey(machineHash string, workloadHashes []string, warmup, measure uint64)
 	}
 	wu(warmup)
 	wu(measure)
+	if pol != nil {
+		ws(samplingKeyTag)
+		wu(pol.Interval)
+		wu(uint64(pol.Clusters))
+		wu(pol.SliceWarmup)
+		wu(pol.Seed)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

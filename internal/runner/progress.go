@@ -71,6 +71,7 @@ func numWidth(n int) int {
 type progressTracker struct {
 	total     int
 	completed int
+	executed  int // completed jobs that actually simulated (Reused == "")
 	started   time.Time
 	fn        ProgressFunc
 }
@@ -82,16 +83,23 @@ func newProgressTracker(total int, fn ProgressFunc) *progressTracker {
 // done records one finished job and emits a progress event.
 func (p *progressTracker) done(res Result) {
 	p.completed++
+	if res.Reused == "" {
+		p.executed++
+	}
 	if p.fn == nil {
 		return
 	}
 	elapsed := time.Since(p.started)
 	var eta time.Duration
-	if rem := p.total - p.completed; rem > 0 {
+	if rem := p.total - p.completed; rem > 0 && p.executed > 0 {
 		// Completed-throughput estimate: remaining work at the observed
 		// aggregate rate. With W workers the rate already reflects W-way
-		// parallelism, so no worker-count correction is needed.
-		eta = time.Duration(float64(elapsed) / float64(p.completed) * float64(rem))
+		// parallelism, so no worker-count correction is needed. Only jobs
+		// that actually simulated enter the denominator — journal/store/
+		// cache hits complete instantly, and counting them would divide the
+		// elapsed time across jobs that cost nothing, collapsing the ETA on
+		// warm-store campaigns where the remaining jobs still run in full.
+		eta = time.Duration(float64(elapsed) / float64(p.executed) * float64(rem))
 	}
 	p.fn(Event{
 		Done:     p.completed,

@@ -8,13 +8,18 @@ import (
 	"reflect"
 	"sync"
 
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 )
 
 // SchemaVersion identifies the campaign result schema. It is bumped whenever
 // the JSON/CSV shape changes incompatibly, so trajectory-tracking consumers
 // (e.g. BENCH_*.json) can detect mismatches instead of misreading fields.
-const SchemaVersion = 1
+//
+// v2 added sampled-execution results: Record.Sampling in JSON and the
+// trailing ci95_* columns in CSV (empty for full runs). Consumers that read
+// schema-1 files still can — v2 is a strict superset.
+const SchemaVersion = 2
 
 // Record is one job's machine-readable result.
 type Record struct {
@@ -47,6 +52,10 @@ type Record struct {
 	// fields are zero, since this job cost nothing. (JSON only — the CSV
 	// column set is unchanged.)
 	Reused string `json:"reused,omitempty"`
+	// Sampling, when present, marks a sampled result: Stats are a weighted
+	// extrapolation from representative intervals, and the outcome carries
+	// the policy, slice accounting and per-metric 95% confidence intervals.
+	Sampling *sampling.Outcome `json:"sampling,omitempty"`
 	// Stats is the full measurement snapshot.
 	Stats *sim.Stats `json:"stats,omitempty"`
 }
@@ -73,6 +82,7 @@ func NewRecord(res Result) Record {
 		PeakHeapBytes:   res.PeakHeapBytes,
 		Telemetry:       res.TelemetryPath,
 		Reused:          res.Reused,
+		Sampling:        res.Sampling,
 	}
 	if res.Err != nil {
 		r.Error = res.Err.Error()
@@ -91,15 +101,33 @@ func (c *Campaign) WriteJSON(w io.Writer) error {
 	return enc.Encode(c)
 }
 
+// ciColumns are the trailing CSV columns carrying a sampled record's 95%
+// confidence half-widths, in sampling.CI field order. Full-run records leave
+// them empty.
+var ciColumns = []string{"ci95_ipc", "ci95_l1i_mpki", "ci95_itlb_mpki", "ci95_istlb_mpki", "ci95_dstlb_mpki"}
+
+// ciValues renders one sampled record's confidence columns.
+func ciValues(ci sampling.CI) []string {
+	return []string{
+		fmt.Sprintf("%g", ci.IPC),
+		fmt.Sprintf("%g", ci.L1IMPKI),
+		fmt.Sprintf("%g", ci.ITLBMPKI),
+		fmt.Sprintf("%g", ci.ISTLBMPKI),
+		fmt.Sprintf("%g", ci.DSTLBMPKI),
+	}
+}
+
 // WriteCSV emits the campaign as CSV: one header row (job identity columns
-// followed by every sim.Stats field, flattening fixed-size arrays), then one
-// row per record. Failed jobs leave the stat columns empty.
+// followed by every sim.Stats field, flattening fixed-size arrays, then the
+// ci95_* confidence columns), then one row per record. Failed jobs leave the
+// stat columns empty; full (non-sampled) runs leave the ci95_* columns empty.
 func (c *Campaign) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := append([]string{
 		"experiment", "config", "workload", "warmup", "measure", "elapsed_ms",
 		"sim_instructions", "instr_per_sec", "peak_heap_bytes", "error",
 	}, statColumns()...)
+	header = append(header, ciColumns...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -115,6 +143,10 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 		}
 		if r.Stats != nil {
 			row = append(row, statValues(*r.Stats)...)
+		}
+		if r.Sampling != nil {
+			row = append(row, make([]string, len(header)-len(ciColumns)-len(row))...)
+			row = append(row, ciValues(r.Sampling.CI95)...)
 		} else {
 			row = append(row, make([]string, len(header)-len(row))...)
 		}

@@ -31,6 +31,7 @@ import (
 
 	"morrigan/internal/arch"
 	"morrigan/internal/machine"
+	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
 	"morrigan/internal/telemetry"
 	"morrigan/internal/trace"
@@ -77,6 +78,15 @@ type Job struct {
 	// NewThreads, when set, overrides Workloads as the instruction-stream
 	// source (e.g. trace files). Such jobs also forgo a data-only identity.
 	NewThreads func() []sim.ThreadSpec
+
+	// Sampling, when non-nil, switches the job to sampled execution:
+	// profile the workload functionally, cluster its intervals, simulate
+	// only representative slices in timing detail and extrapolate Stats
+	// with confidence intervals (internal/sampling). The policy is part of
+	// the job's canonical identity — a sampled job and its full-run twin
+	// hash to different keys. Requires exactly one workload-described
+	// thread (no NewThreads, no SMT pair).
+	Sampling *sampling.Policy
 }
 
 // Name returns the job's "experiment/config/workload" display label, eliding
@@ -120,6 +130,19 @@ type Result struct {
 	// for in-process result-cache hits, ReusedJournal for checkpoint-journal
 	// hits. Empty for jobs that actually ran.
 	Reused string
+	// Sampling, when non-nil, marks a sampled result and carries how it was
+	// produced (policy, slice counts, per-metric 95% confidence intervals).
+	// Stats then hold the weighted extrapolation, not a direct measurement.
+	Sampling *sampling.Outcome
+}
+
+// Stored is the payload the reuse layers (journal, result store, in-process
+// cache) carry per canonical key: the stats plus, for sampled jobs, the
+// sampling outcome — so a reused sampled result keeps its confidence
+// intervals and is never mistaken for a full measurement.
+type Stored struct {
+	Stats    sim.Stats
+	Sampling *sampling.Outcome
 }
 
 // Reused markers.
@@ -137,8 +160,8 @@ const (
 // back so later runs — on any machine sharing the store — reuse them.
 // Implementations must be safe for concurrent use.
 type ResultStore interface {
-	// Lookup returns the stored stats for key, if present.
-	Lookup(key string) (sim.Stats, bool)
+	// Lookup returns the stored payload for key, if present.
+	Lookup(key string) (Stored, bool)
 	// Put persists one completed result under key. Duplicate puts resolve
 	// first-write-wins: a put whose stats equal the stored record is a
 	// no-op, and one whose stats differ is an error — a stored result must
@@ -198,6 +221,11 @@ type Options struct {
 	// and internal/fabric). Reuse layers still apply: only jobs missing
 	// from the journal, store and cache are delegated.
 	Remote RemoteExecutor
+	// Profiles, when non-nil, caches sampling profile artifacts on disk
+	// (typically <corpus>/profiles) so the functional profiling pass of a
+	// sampled job is paid once per workload and window. Without it, sampled
+	// jobs profile in memory on every run.
+	Profiles *sampling.ProfileStore
 }
 
 // Observer receives campaign lifecycle notifications, the attach surface of
@@ -330,7 +358,7 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 			if opt.Cache != nil {
 				opt.Cache.publish(key, st)
 			}
-			return Result{Job: j, Stats: st, Reused: ReusedJournal}
+			return Result{Job: j, Stats: st.Stats, Sampling: st.Sampling, Reused: ReusedJournal}
 		}
 	}
 	if opt.Store != nil {
@@ -338,7 +366,7 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 			if opt.Cache != nil {
 				opt.Cache.publish(key, st)
 			}
-			return Result{Job: j, Stats: st, Reused: ReusedStore}
+			return Result{Job: j, Stats: st.Stats, Sampling: st.Sampling, Reused: ReusedStore}
 		}
 	}
 	if opt.Cache == nil {
@@ -356,13 +384,13 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 		}
 		if e.ok {
 			opt.Cache.hit()
-			return Result{Job: j, Stats: e.stats, Reused: ReusedCache}
+			return Result{Job: j, Stats: e.stored.Stats, Sampling: e.stored.Sampling, Reused: ReusedCache}
 		}
 		return executePersisted(ctx, i, j, opt, key, keyed)
 	}
 	res := executePersisted(ctx, i, j, opt, key, keyed)
 	if res.Err == nil {
-		opt.Cache.complete(e, res.Stats)
+		opt.Cache.complete(e, Stored{Stats: res.Stats, Sampling: res.Sampling})
 	} else {
 		opt.Cache.abort(key, e)
 	}
@@ -478,6 +506,21 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 	}
 	if j.Instrument != nil {
 		j.Instrument(&cfg)
+	}
+	if j.Sampling != nil {
+		// Sampled execution gets no telemetry probe and no JobStarted: the
+		// run is a sequence of short warmup/measure slices, each of which
+		// would finish and reset a probe, so a per-job time series is
+		// undefined. The observer still receives JobFinished, exactly as it
+		// does for journal-reused jobs.
+		st, outcome, serr := executeSampled(ctx, &s, cfg, j, opt)
+		if serr != nil {
+			res.Err = fmt.Errorf("runner: %s: %w", j.Name(), serr)
+			return res
+		}
+		res.Stats = st
+		res.Sampling = outcome
+		return res
 	}
 	switch {
 	case opt.Telemetry != nil:

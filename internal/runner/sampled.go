@@ -1,0 +1,82 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"morrigan/internal/sampling"
+	"morrigan/internal/sim"
+	"morrigan/internal/trace"
+)
+
+// executeSampled runs one job in sampled-execution mode: a functional
+// profiling pass (served from Options.Profiles when attached), deterministic
+// clustering into representative intervals, then fast-forward-and-measure
+// over each representative on a fresh simulator, extrapolating the weighted
+// Stats with confidence intervals.
+//
+// The built simulator is published through sp so the caller's deferred
+// accounting (SimInstructions via Executed, which fast-forwarded
+// instructions never enter) sees it even on a mid-run failure.
+func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j Job, opt Options) (sim.Stats, *sampling.Outcome, error) {
+	if j.NewThreads != nil {
+		return sim.Stats{}, nil, fmt.Errorf("sampled execution requires workload-described threads (NewThreads is set)")
+	}
+	if len(j.Workloads) != 1 {
+		return sim.Stats{}, nil, fmt.Errorf("sampled execution supports exactly one thread, got %d workloads", len(j.Workloads))
+	}
+	pol := *j.Sampling
+	if err := pol.Validate(j.Measure); err != nil {
+		return sim.Stats{}, nil, err
+	}
+
+	w := j.Workloads[0]
+	newReader := func() (trace.Reader, error) {
+		if opt.NewReader != nil {
+			return opt.NewReader(w)
+		}
+		return w.NewReader(), nil
+	}
+
+	var prof *sampling.Profile
+	var err error
+	if opt.Profiles != nil {
+		prof, err = opt.Profiles.Profile(w.Hash(), j.Warmup, j.Measure, pol.Interval, newReader)
+	} else {
+		var r trace.Reader
+		if r, err = newReader(); err == nil {
+			prof, err = sampling.BuildProfile(r, w.Hash(), j.Warmup, j.Measure, pol.Interval)
+			if c, ok := r.(io.Closer); ok {
+				c.Close()
+			}
+		}
+	}
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	plan, err := sampling.Cluster(prof, pol)
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+
+	// Fresh readers for the execution pass — the profiling pass consumed its
+	// own stream.
+	threads, err := buildThreads(j, opt)
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	defer closeThreadReaders(threads)
+	s, err := sim.New(cfg, threads)
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	*sp = s
+
+	st, outcome, err := sampling.Execute(ctx, s, j.Warmup, plan, pol)
+	if err != nil {
+		return sim.Stats{}, nil, err
+	}
+	sampling.RecordOutcome(outcome)
+	return st, outcome, nil
+}

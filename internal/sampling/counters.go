@@ -1,0 +1,39 @@
+package sampling
+
+import "sync/atomic"
+
+// Process-wide sampling-phase counters, fed by the runner after each sampled
+// execution and surfaced as observability gauges by the CLIs. Plain atomics
+// (rather than per-store state) because a campaign may run sampled jobs
+// through several runner invocations sharing one process.
+var (
+	sampledRuns atomic.Uint64
+	timedInstr  atomic.Uint64
+	ffInstr     atomic.Uint64
+)
+
+// RecordOutcome folds one sampled execution into the process totals.
+func RecordOutcome(o *Outcome) {
+	if o == nil {
+		return
+	}
+	sampledRuns.Add(1)
+	timedInstr.Add(o.TimedInstructions)
+	ffInstr.Add(o.FastForwarded)
+}
+
+// RunTotals is a snapshot of the process-wide sampling counters.
+type RunTotals struct {
+	SampledRuns       uint64
+	TimedInstructions uint64
+	FastForwarded     uint64
+}
+
+// Totals snapshots the process-wide sampling counters.
+func Totals() RunTotals {
+	return RunTotals{
+		SampledRuns:       sampledRuns.Load(),
+		TimedInstructions: timedInstr.Load(),
+		FastForwarded:     ffInstr.Load(),
+	}
+}

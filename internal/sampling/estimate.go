@@ -1,0 +1,111 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+
+	"morrigan/internal/sim"
+)
+
+// CI holds the 95% confidence half-widths for the headline metrics of a
+// sampled run: the reported value ± the half-width is the interval the
+// accuracy harness asserts full-run values fall inside.
+type CI struct {
+	IPC       float64 `json:"ipc"`
+	L1IMPKI   float64 `json:"l1i_mpki"`
+	ITLBMPKI  float64 `json:"itlb_mpki"`
+	ISTLBMPKI float64 `json:"istlb_mpki"`
+	DSTLBMPKI float64 `json:"dstlb_mpki"`
+}
+
+// biasGuardPct is a systematic-error floor added to every half-width: the
+// weighted-cluster estimator's sampling variance goes to zero as clusters
+// tighten, but warmup truncation bias does not, so a pure variance CI would
+// be overconfident on near-uniform workloads.
+const biasGuardPct = 0.02
+
+// Extrapolate combines per-representative slice Stats into a full-window
+// estimate. Counters (uint64 fields, including cycle counts and per-level
+// arrays) scale as weighted per-interval mean times the interval count;
+// ratio metrics are recomputed from the extrapolated counters so the
+// reported Stats stay internally consistent; remaining float summaries take
+// the weighted mean. The returned CI carries per-metric 95% half-widths from
+// the weighted between-slice variance.
+func Extrapolate(slices []sim.Stats, weights []float64, intervals int) (sim.Stats, CI) {
+	var out sim.Stats
+	ov := reflect.ValueOf(&out).Elem()
+	t := ov.Type()
+	n := float64(intervals)
+
+	for f := 0; f < t.NumField(); f++ {
+		of := ov.Field(f)
+		switch of.Kind() {
+		case reflect.Uint64:
+			var mean float64
+			for i := range slices {
+				mean += weights[i] * float64(reflect.ValueOf(slices[i]).Field(f).Uint())
+			}
+			of.SetUint(uint64(math.Round(mean * n)))
+		case reflect.Float64:
+			var mean float64
+			for i := range slices {
+				mean += weights[i] * reflect.ValueOf(slices[i]).Field(f).Float()
+			}
+			of.SetFloat(mean)
+		case reflect.Array:
+			for e := 0; e < of.Len(); e++ {
+				var mean float64
+				for i := range slices {
+					mean += weights[i] * float64(reflect.ValueOf(slices[i]).Field(f).Index(e).Uint())
+				}
+				of.Index(e).SetUint(uint64(math.Round(mean * n)))
+			}
+		}
+	}
+
+	// Recompute the ratio metrics from the extrapolated counters.
+	if out.Cycles > 0 {
+		out.IPC = float64(out.Instructions) / float64(out.Cycles)
+	}
+	out.L1IMPKI = mpki(out.L1IMisses, out.Instructions)
+	out.ITLBMPKI = mpki(out.ITLBMisses, out.Instructions)
+	out.ISTLBMPKI = mpki(out.ISTLBMisses, out.Instructions)
+	out.DSTLBMPKI = mpki(out.DSTLBMisses, out.Instructions)
+	if walks := out.DemandIWalks + out.DemandDWalks; walks > 0 {
+		out.RefsPerWalk = float64(out.DemandIWalkRefs+out.DemandDWalkRefs) / float64(walks)
+	}
+
+	ci := CI{
+		IPC:       halfWidth(slices, weights, func(s *sim.Stats) float64 { return s.IPC }),
+		L1IMPKI:   halfWidth(slices, weights, func(s *sim.Stats) float64 { return s.L1IMPKI }),
+		ITLBMPKI:  halfWidth(slices, weights, func(s *sim.Stats) float64 { return s.ITLBMPKI }),
+		ISTLBMPKI: halfWidth(slices, weights, func(s *sim.Stats) float64 { return s.ISTLBMPKI }),
+		DSTLBMPKI: halfWidth(slices, weights, func(s *sim.Stats) float64 { return s.DSTLBMPKI }),
+	}
+	return out, ci
+}
+
+func mpki(misses, instr uint64) float64 {
+	if instr == 0 {
+		return 0
+	}
+	return float64(misses) / float64(instr) * 1000
+}
+
+// halfWidth computes the 95% half-width of the weighted estimator for one
+// per-slice metric: 1.96 times the standard error of the weighted mean (with
+// weights treated as sampling fractions, SE² = Var_w · Σw²), plus the
+// systematic bias guard.
+func halfWidth(slices []sim.Stats, weights []float64, metric func(*sim.Stats) float64) float64 {
+	var mu float64
+	for i := range slices {
+		mu += weights[i] * metric(&slices[i])
+	}
+	var varw, w2 float64
+	for i := range slices {
+		d := metric(&slices[i]) - mu
+		varw += weights[i] * d * d
+		w2 += weights[i] * weights[i]
+	}
+	return 1.96*math.Sqrt(varw*w2) + biasGuardPct*math.Abs(mu)
+}

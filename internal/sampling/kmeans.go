@@ -1,0 +1,228 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rep is one representative interval chosen by the clusterer.
+type Rep struct {
+	// Index is the interval's position in the measurement window (interval
+	// Index covers instructions [Index*Interval, (Index+1)*Interval)).
+	Index int `json:"index"`
+	// Weight is the fraction of the window the representative stands for:
+	// its cluster's population over the interval count. Weights sum to 1.
+	Weight float64 `json:"weight"`
+}
+
+// Plan is the clusterer's output: which intervals to simulate in timing
+// detail and how to weight them during extrapolation.
+type Plan struct {
+	Interval  uint64 `json:"interval"`
+	Intervals int    `json:"intervals"` // total intervals in the window
+	Reps      []Rep  `json:"reps"`      // sorted by Index ascending
+}
+
+// featureDims is the dimensionality of the clustering space.
+const featureDims = 6
+
+// vector derives the normalised clustering vector from raw interval features:
+// per-kilo-instruction miss and transition rates plus the two dimensionless
+// summaries.
+func vector(f *Features) [featureDims]float64 {
+	ki := float64(f.Instructions) / 1000
+	if ki == 0 {
+		return [featureDims]float64{}
+	}
+	return [featureDims]float64{
+		float64(f.ITLBMisses) / ki,
+		float64(f.ISTLBMisses) / ki,
+		float64(f.DSTLBMisses) / ki,
+		float64(f.PageTransitions) / ki,
+		f.MissPCSkew,
+		f.ReuseLog2Mean,
+	}
+}
+
+// splitmix64 is the deterministic PRNG behind k-means++ seeding — tiny,
+// well-distributed, and stable across Go releases (unlike math/rand's
+// global source).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64n returns a uniform float in [0, 1).
+func (s *splitmix64) float64n() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+const maxKMeansIters = 50
+
+// Cluster partitions the profile's intervals into at most pol.Clusters
+// groups with a seeded k-means over z-score-normalised feature vectors and
+// returns the representative plan. Everything is deterministic: fixed
+// iteration order, seeded k-means++ initialisation, ties broken toward the
+// lowest index.
+func Cluster(prof *Profile, pol Policy) (*Plan, error) {
+	m := len(prof.Intervals)
+	if m == 0 {
+		return nil, fmt.Errorf("sampling: profile has no intervals")
+	}
+	k := pol.Clusters
+	if k > m {
+		k = m
+	}
+
+	// Z-score normalise each dimension so high-magnitude rates (misses/KI)
+	// don't drown the dimensionless features.
+	pts := make([][featureDims]float64, m)
+	for i := range prof.Intervals {
+		pts[i] = vector(&prof.Intervals[i])
+	}
+	var mean, std [featureDims]float64
+	for d := 0; d < featureDims; d++ {
+		for i := range pts {
+			mean[d] += pts[i][d]
+		}
+		mean[d] /= float64(m)
+		for i := range pts {
+			diff := pts[i][d] - mean[d]
+			std[d] += diff * diff
+		}
+		std[d] = math.Sqrt(std[d] / float64(m))
+		for i := range pts {
+			if std[d] > 0 {
+				pts[i][d] = (pts[i][d] - mean[d]) / std[d]
+			} else {
+				pts[i][d] = 0
+			}
+		}
+	}
+
+	centroids := initCentroids(pts, k, pol.Seed)
+	assign := make([]int, m)
+	for iter := 0; iter < maxKMeansIters; iter++ {
+		changed := false
+		for i := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(pts[i], centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; an emptied cluster keeps its old centroid so
+		// k stays fixed and the loop stays deterministic.
+		var sums [][featureDims]float64 = make([][featureDims]float64, len(centroids))
+		counts := make([]int, len(centroids))
+		for i := range pts {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < featureDims; d++ {
+				sums[c][d] += pts[i][d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < featureDims; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+
+	// Representative per cluster: the member nearest its centroid, lowest
+	// index on ties. Weight is the cluster's population share.
+	repIdx := make([]int, len(centroids))
+	repDist := make([]float64, len(centroids))
+	counts := make([]int, len(centroids))
+	for c := range repIdx {
+		repIdx[c] = -1
+		repDist[c] = math.Inf(1)
+	}
+	for i := range pts {
+		c := assign[i]
+		counts[c]++
+		if d := dist2(pts[i], centroids[c]); d < repDist[c] {
+			repIdx[c], repDist[c] = i, d
+		}
+	}
+
+	plan := &Plan{Interval: prof.Interval, Intervals: m}
+	for c := range repIdx {
+		if repIdx[c] < 0 {
+			continue // cluster emptied during iteration
+		}
+		plan.Reps = append(plan.Reps, Rep{
+			Index:  repIdx[c],
+			Weight: float64(counts[c]) / float64(m),
+		})
+	}
+	sort.Slice(plan.Reps, func(i, j int) bool { return plan.Reps[i].Index < plan.Reps[j].Index })
+	return plan, nil
+}
+
+// initCentroids seeds k centroids k-means++-style: the first uniformly, each
+// later one with probability proportional to squared distance from the
+// nearest already-chosen centroid.
+func initCentroids(pts [][featureDims]float64, k int, seed uint64) [][featureDims]float64 {
+	rng := splitmix64(seed ^ 0x6d6f72726967616e) // "morrigan"
+	centroids := make([][featureDims]float64, 0, k)
+	first := int(rng.next() % uint64(len(pts)))
+	centroids = append(centroids, pts[first])
+
+	d2 := make([]float64, len(pts))
+	for len(centroids) < k {
+		var total float64
+		for i := range pts {
+			d2[i] = math.Inf(1)
+			for c := range centroids {
+				if d := dist2(pts[i], centroids[c]); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		pick := 0
+		if total > 0 {
+			target := rng.float64n() * total
+			var acc float64
+			for i := range d2 {
+				acc += d2[i]
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		} else {
+			// All points coincide with a centroid; spread deterministically.
+			pick = int(rng.next() % uint64(len(pts)))
+		}
+		centroids = append(centroids, pts[pick])
+	}
+	return centroids
+}
+
+func dist2(a, b [featureDims]float64) float64 {
+	var s float64
+	for d := 0; d < featureDims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+// Package sampling is the representative-interval sampling subsystem: the
+// entry point to workloads orders of magnitude longer than end-to-end
+// simulation can reach. Instead of simulating every instruction of a
+// measurement window in timing detail, a sampled run
+//
+//  1. profiles the window through a cheap functional pass (profile.go),
+//     emitting one memory-behaviour feature vector per fixed-length interval
+//     — ITLB/STLB miss densities, miss-PC skew, the routine-transition mix
+//     and a page-reuse-distance summary;
+//  2. clusters the interval vectors with a deterministic seeded k-means
+//     (kmeans.go) and picks one representative interval per cluster,
+//     weighted by cluster population;
+//  3. fast-forwards the simulator to each representative with functional
+//     TLB/page-table warmup only (sim.FastForward), simulates the measured
+//     slice in full timing detail, and extrapolates the weighted Stats with
+//     per-metric 95% confidence intervals (execute.go, estimate.go).
+//
+// Profiles are versioned, hash-keyed artifacts cached on disk beside the
+// trace corpus (store.go), so the functional pass is paid once per
+// (workload, scale, interval) and every later sampled run goes straight to
+// clustering. The methodology follows the SimPoint/interval-clustering line
+// of work the paper's evaluation scale implicitly assumes.
+package sampling
+
+import "fmt"
+
+// ProfileSchemaVersion identifies the on-disk profile artifact format.
+const ProfileSchemaVersion = 1
+
+// FeatureVersion identifies the per-interval feature vector definition. It is
+// folded into profile artifact keys, so changing what the profiler measures
+// invalidates cached profiles instead of silently clustering on stale
+// features.
+const FeatureVersion = 1
+
+// Policy describes how one job is sampled. It is part of the job's canonical
+// identity: two jobs with equal (machine, workloads, scale) but different
+// policies measure different instruction slices, so their keys must differ
+// (see runner.Job.Key). All fields are required except SliceWarmup, which may
+// be zero (no timed warmup before each measured slice).
+type Policy struct {
+	// Interval is the fixed interval length in instructions. The measured
+	// window is split into Measure/Interval intervals; Measure must be an
+	// exact multiple so the extrapolated instruction count equals the full
+	// run's.
+	Interval uint64 `json:"interval"`
+	// Clusters is the k of the k-means clusterer — the maximum number of
+	// representative intervals simulated in timing detail. Clamped to the
+	// interval count when the window is short.
+	Clusters int `json:"clusters"`
+	// SliceWarmup is how many instructions are simulated in full timing
+	// detail (but not measured) immediately before each representative
+	// slice, on top of the functional TLB/page-table warmup of the
+	// fast-forward, so cache and core state are partially warm at the
+	// measurement boundary.
+	SliceWarmup uint64 `json:"slice_warmup"`
+	// Seed seeds the k-means initialisation; fixed iteration order plus a
+	// fixed seed makes the cluster choice — and therefore the sampled
+	// result — fully deterministic.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultPolicy returns the sampling policy the CLIs default to: 100k-
+// instruction intervals, 8 clusters, a quarter-interval timed slice warmup.
+func DefaultPolicy() Policy {
+	return Policy{Interval: 100_000, Clusters: 8, SliceWarmup: 25_000, Seed: 1}
+}
+
+// Validate checks the policy against a job's measurement window.
+func (p Policy) Validate(measure uint64) error {
+	if p.Interval == 0 {
+		return fmt.Errorf("sampling: interval must be positive")
+	}
+	if p.Clusters <= 0 {
+		return fmt.Errorf("sampling: clusters must be positive")
+	}
+	if measure < p.Interval {
+		return fmt.Errorf("sampling: measure %d is shorter than one interval (%d)", measure, p.Interval)
+	}
+	if measure%p.Interval != 0 {
+		return fmt.Errorf("sampling: measure %d is not a multiple of the interval %d", measure, p.Interval)
+	}
+	if p.SliceWarmup > p.Interval*4 {
+		return fmt.Errorf("sampling: slice warmup %d exceeds 4 intervals — the speedup would vanish", p.SliceWarmup)
+	}
+	return nil
+}

@@ -99,6 +99,11 @@ type Simulator struct {
 	// accounting in the campaign runner.
 	executed uint64
 
+	// fastForwarded counts instructions consumed functionally by FastForward
+	// (sampled-execution mode). Kept apart from executed so a sampled job's
+	// simulated-instruction figure reflects only timing-simulated work.
+	fastForwarded uint64
+
 	// probe is the optional telemetry collector; nil (the default) keeps
 	// every hook on the hot path a single predictable branch. probeNext is
 	// the retired-instruction count of the next time-series sample.

@@ -169,3 +169,15 @@ func (b *PrefetchBuffer) Evictions() uint64 { return b.useless }
 
 // ResetStats clears counters, keeping contents.
 func (b *PrefetchBuffer) ResetStats() { b.lookups, b.hits, b.inserts, b.useless = 0, 0, 0, 0 }
+
+// Settle marks every resident entry's producing walk as complete (ready at
+// cycle zero), keeping contents intact. Sampled execution calls it when the
+// simulation clock rebases between timed slices: entries inserted under the
+// previous slice's clock epoch finished long ago in simulated time, but
+// their absolute ready timestamps would read as far-future under the new
+// epoch and charge phantom late-prefetch stalls.
+func (b *PrefetchBuffer) Settle() {
+	for i := range b.ents {
+		b.ents[i].ready = 0
+	}
+}
