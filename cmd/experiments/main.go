@@ -16,6 +16,7 @@
 //	experiments -exp all -fabric :9090           # delegate jobs to fabric workers
 //	experiments -exp fig15 -dry-run              # print enumerated jobs, simulate nothing
 //	experiments -exp fig15 -sample -corpus corpus/  # sampled mode: timed slices + 95% CIs
+//	experiments -exp fig15 -trace-out trace.json # Perfetto-loadable lifecycle trace
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
 		results   = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
 		fabric    = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		traceOut  = flag.String("trace-out", "", "write a distributed trace of every job's lifecycle phases to this file (.jsonl for JSONL, otherwise Chrome trace-event JSON for Perfetto)")
 		sample    = flag.Bool("sample", false, "representative-interval sampling for eligible jobs: time only clustered representative slices and report extrapolated stats with 95% CIs")
 		sampleInt = flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000; measure must be a multiple)")
 		sampleK   = flag.Int("sample-clusters", 0, "sampling cluster count / representative slices per run (0 = default 8)")
@@ -94,6 +96,11 @@ func main() {
 	if *jsonOut != "" || *csvOut != "" || *benchOut != "" {
 		rec = &morrigan.CampaignRecorder{}
 		opt.Record = rec
+	}
+	var tracer *morrigan.TraceRecorder
+	if *traceOut != "" {
+		tracer = morrigan.NewTraceRecorder("")
+		opt.Spans = tracer
 	}
 	if *telem != "" {
 		opt.Telemetry = &morrigan.CampaignTelemetry{Dir: *telem}
@@ -189,6 +196,7 @@ func main() {
 		coord := morrigan.NewFabricCoordinator(morrigan.FabricCoordinatorOptions{
 			Corpus: store,
 			Log:    os.Stderr,
+			Spans:  tracer,
 		})
 		addr, err := coord.Start(*fabric)
 		if err != nil {
@@ -228,7 +236,8 @@ func main() {
 		start := time.Now()
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
-			emitRecords(rec, *jsonOut, *csvOut, *benchOut, store)
+			emitRecords(rec, *jsonOut, *csvOut, *benchOut, store, tracer)
+			writeTrace(*traceOut, tracer)
 			fatal("%s: %v", id, err)
 		}
 		if *dryRun {
@@ -237,12 +246,24 @@ func main() {
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	emitRecords(rec, *jsonOut, *csvOut, *benchOut, store)
+	emitRecords(rec, *jsonOut, *csvOut, *benchOut, store, tracer)
+	writeTrace(*traceOut, tracer)
+}
+
+// writeTrace exports the collected spans to path; a nil tracer is a no-op.
+func writeTrace(path string, tracer *morrigan.TraceRecorder) {
+	if tracer == nil {
+		return
+	}
+	if err := morrigan.WriteTraceFile(path, tracer.Spans()); err != nil {
+		fatal("trace-out: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %d trace spans to %s\n", tracer.Len(), path)
 }
 
 // emitRecords writes whatever the recorder has collected so far; on a partial
 // (failed or interrupted) campaign that is every completed simulation.
-func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut string, store *morrigan.CorpusStore) {
+func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut string, store *morrigan.CorpusStore, tracer *morrigan.TraceRecorder) {
 	if rec == nil {
 		return
 	}
@@ -268,6 +289,9 @@ func emitRecords(rec *morrigan.CampaignRecorder, jsonOut, csvOut, benchOut strin
 	write(csvOut, c.WriteCSV)
 	if benchOut != "" {
 		b := morrigan.NewCampaignBench(c)
+		if tracer != nil {
+			b.Phases = morrigan.TraceBreakdown(tracer.Spans())
+		}
 		if store != nil {
 			cs := store.CacheStats()
 			b.TraceSupply = &morrigan.CampaignTraceSupply{

@@ -13,8 +13,10 @@
 //
 //	fabric serve -addr :9090 -exp fig9,fig15 -quick -out results.txt
 //	fabric serve -addr :9090 -exp all -results results/ -corpus corpus/
+//	fabric serve -addr :9090 -exp fig15 -quick -trace-out trace.json
 //	fabric work -coordinator http://127.0.0.1:9090
 //	fabric work -coordinator http://bighost:9090 -corpus worker-corpus/ -name w1
+//	fabric work -coordinator http://bighost:9090 -trace-out worker-trace.jsonl
 package main
 
 import (
@@ -71,6 +73,7 @@ func serve(args []string) {
 		results  = fs.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
 		corpus   = fs.String("corpus", "", "trace corpus directory; also served to workers over /fabric/corpus")
 		leaseTTL = fs.Duration("lease-ttl", 0, "worker lease TTL before a silent worker's job is reassigned (0 = 30s)")
+		traceOut = fs.String("trace-out", "", "write the assembled campaign trace (coordinator + worker spans) to this file (.jsonl for JSONL, otherwise Chrome trace-event JSON)")
 		verbose  = fs.Bool("v", false, "print per-job progress and fabric events")
 	)
 	fs.Parse(args)
@@ -102,6 +105,11 @@ func serve(args []string) {
 		rec = &morrigan.CampaignRecorder{}
 		opt.Record = rec
 	}
+	var tracer *morrigan.TraceRecorder
+	if *traceOut != "" {
+		tracer = morrigan.NewTraceRecorder("")
+		opt.Spans = tracer
+	}
 
 	var cs *morrigan.CorpusStore
 	if *corpus != "" {
@@ -124,7 +132,7 @@ func serve(args []string) {
 		opt.Store = rs
 	}
 
-	copt := morrigan.FabricCoordinatorOptions{Corpus: cs, LeaseTTL: *leaseTTL}
+	copt := morrigan.FabricCoordinatorOptions{Corpus: cs, LeaseTTL: *leaseTTL, Spans: tracer}
 	if *verbose {
 		copt.Log = os.Stderr
 	}
@@ -159,12 +167,14 @@ func serve(args []string) {
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
 			emitJSON(rec, *jsonOut)
+			writeTrace(*traceOut, tracer)
 			fatal("%s: %v", id, err)
 		}
 		tab.Render(w)
 		fmt.Fprintf(os.Stderr, "%s finished in %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	emitJSON(rec, *jsonOut)
+	writeTrace(*traceOut, tracer)
 }
 
 // work runs one worker until interrupted or until the coordinator goes away.
@@ -174,6 +184,7 @@ func work(args []string) {
 		coordinator = fs.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:9090); required")
 		name        = fs.String("name", "", "worker name in coordinator logs (default host:pid)")
 		corpus      = fs.String("corpus", "", "local trace corpus directory; misses are fetched from the coordinator")
+		traceOut    = fs.String("trace-out", "", "write this worker's own job spans to this file on exit (.jsonl for JSONL, otherwise Chrome trace-event JSON)")
 		quiet       = fs.Bool("q", false, "suppress per-job log lines")
 	)
 	fs.Parse(args)
@@ -201,6 +212,11 @@ func work(args []string) {
 		defer cs.Close()
 		wopt.Corpus = cs
 	}
+	var tracer *morrigan.TraceRecorder
+	if *traceOut != "" {
+		tracer = morrigan.NewTraceRecorder(wopt.Name)
+		wopt.Spans = tracer
+	}
 	worker, err := morrigan.NewFabricWorker(wopt)
 	if err != nil {
 		fatal("%v", err)
@@ -208,7 +224,19 @@ func work(args []string) {
 	if err := worker.Run(ctx); err != nil {
 		fatal("%v", err)
 	}
+	writeTrace(*traceOut, tracer)
 	fmt.Fprintf(os.Stderr, "fabric: %s exiting after %d jobs\n", wopt.Name, worker.JobsRun())
+}
+
+// writeTrace exports collected spans to path; a nil tracer is a no-op.
+func writeTrace(path string, tracer *morrigan.TraceRecorder) {
+	if tracer == nil {
+		return
+	}
+	if err := morrigan.WriteTraceFile(path, tracer.Spans()); err != nil {
+		fatal("trace-out: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric: wrote %d trace spans to %s\n", tracer.Len(), path)
 }
 
 // emitJSON writes whatever the recorder collected; on a failed campaign that

@@ -18,6 +18,7 @@
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -results results/
 //	morrigansim -workload qmm-srv-01,qmm-srv-02 -fabric :9090
 //	morrigansim -workload qmm-srv-01 -smt qmm-srv-19 -dry-run
+//	morrigansim -workload qmm-srv-01,qmm-srv-02 -trace-out trace.json
 //	morrigansim -workload qmm-srv-01 -measure 10000000 -sample -corpus corpus/
 package main
 
@@ -66,6 +67,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "serve already-journaled results from -journal instead of re-simulating")
 		results   = flag.String("results", "", "durable result store directory: reuse stored results across runs and persist new ones")
 		fabricURL = flag.String("fabric", "", "serve a distributed-campaign coordinator on this address (e.g. :9090) and delegate jobs to fabric workers")
+		traceOut  = flag.String("trace-out", "", "write a distributed trace of every job's lifecycle phases to this file (.jsonl for JSONL, otherwise Chrome trace-event JSON for Perfetto)")
 		sample    = flag.Bool("sample", false, "representative-interval sampling: time only clustered representative slices and report extrapolated stats with 95% CIs")
 		sampleInt = flag.Uint64("sample-interval", 0, "sampling interval length in instructions (0 = default 100000; -measure must be a multiple)")
 		sampleK   = flag.Int("sample-clusters", 0, "sampling cluster count / representative slices per run (0 = default 8)")
@@ -188,6 +190,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := morrigan.CampaignOptions{Workers: *jobs}
+	var tracer *morrigan.TraceRecorder
+	if *traceOut != "" {
+		tracer = morrigan.NewTraceRecorder("")
+		opt.Spans = tracer
+	}
 	var profiles *morrigan.SamplingProfileStore
 	if pol != nil && *corpus != "" {
 		// Profile artifacts live beside the trace corpus so repeated sampled
@@ -262,6 +269,7 @@ func main() {
 		coord := morrigan.NewFabricCoordinator(morrigan.FabricCoordinatorOptions{
 			Corpus: store,
 			Log:    os.Stderr,
+			Spans:  tracer,
 		})
 		addr, err := coord.Start(*fabricURL)
 		if err != nil {
@@ -300,7 +308,13 @@ func main() {
 	}
 	writeCampaign(*jsonOut, campaignResults, (*morrigan.Campaign).WriteJSON)
 	writeCampaign(*csvOut, campaignResults, (*morrigan.Campaign).WriteCSV)
-	writeBench(*benchOut, campaignResults, store)
+	writeBench(*benchOut, campaignResults, store, tracer)
+	if tracer != nil {
+		if err := morrigan.WriteTraceFile(*traceOut, tracer.Spans()); err != nil {
+			fatal("trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "morrigansim: wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
+	}
 	if err != nil {
 		os.Exit(1)
 	}
@@ -308,7 +322,7 @@ func main() {
 
 // writeBench stamps the campaign's throughput summary (the BENCH_*.json
 // trajectory artifact) to path ('-' for stdout); an empty path is a no-op.
-func writeBench(path string, results []morrigan.CampaignResult, store *morrigan.CorpusStore) {
+func writeBench(path string, results []morrigan.CampaignResult, store *morrigan.CorpusStore, tracer *morrigan.TraceRecorder) {
 	if path == "" {
 		return
 	}
@@ -317,6 +331,9 @@ func writeBench(path string, results []morrigan.CampaignResult, store *morrigan.
 		c.Records = append(c.Records, morrigan.NewCampaignRecord(res))
 	}
 	b := morrigan.NewCampaignBench(c)
+	if tracer != nil {
+		b.Phases = morrigan.TraceBreakdown(tracer.Spans())
+	}
 	if store != nil {
 		cs := store.CacheStats()
 		b.TraceSupply = &morrigan.CampaignTraceSupply{

@@ -28,6 +28,7 @@ import (
 	"morrigan/internal/runner"
 	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
+	"morrigan/internal/spans"
 	"morrigan/internal/trace"
 	"morrigan/internal/tracestore"
 	"morrigan/internal/workloads"
@@ -110,6 +111,10 @@ type Options struct {
 	// repeated sampled campaigns skip the functional profiling pass (see
 	// sampling.ProfileStore). Only consulted when Sampling is set.
 	Profiles *sampling.ProfileStore
+	// Spans, when non-nil, records every job's lifecycle phases as trace
+	// spans (see internal/spans and runner.Options.Spans). Purely
+	// observational: rendered tables are bit-identical with or without it.
+	Spans *spans.Recorder
 }
 
 // DefaultOptions runs every workload at a scale that finishes in minutes on
@@ -222,6 +227,7 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 		Store:     o.Store,
 		Remote:    o.Remote,
 		Profiles:  o.Profiles,
+		Spans:     o.Spans,
 	}
 	if o.Corpus != nil {
 		ropt.NewReader = func(w workloads.Spec) (trace.Reader, error) {

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"morrigan/internal/obs"
 	"morrigan/internal/runner"
+	"morrigan/internal/spans"
 	"morrigan/internal/tracestore"
 	"morrigan/internal/workloads"
 )
@@ -45,6 +47,14 @@ type CoordinatorOptions struct {
 	// Log, when non-nil, receives one line per notable fabric event (lease
 	// expirations, duplicate submissions).
 	Log io.Writer
+	// Spans, when non-nil, assembles the campaign's distributed trace: the
+	// coordinator records lease-wait and lease spans for every job, asks
+	// workers to attach their spans to submissions (leaseResponse.Trace),
+	// and re-bases worker span timestamps onto its own epoch using the clock
+	// offset estimated from heartbeat round-trip times. Share one recorder
+	// between runner.Options.Spans and this field to get a single campaign
+	// trace covering local and remote phases.
+	Spans *spans.Recorder
 }
 
 // entry states.
@@ -58,19 +68,39 @@ const (
 // deduplicated by key: however many campaign goroutines wait on one key, the
 // job crosses the wire once.
 type jobEntry struct {
-	key    string
-	job    runner.Job
-	state  int
-	result runner.Result // valid once state == stateDone
-	done   chan struct{} // closed when state becomes stateDone
+	key        string
+	job        runner.Job
+	state      int
+	result     runner.Result // valid once state == stateDone
+	done       chan struct{} // closed when state becomes stateDone
+	enqueuedNS int64         // trace clock at enumeration (0 without tracing)
 }
 
 // lease is one live grant of a job to a worker.
 type lease struct {
-	id       string
-	key      string
-	worker   string
-	deadline time.Time
+	id        string
+	key       string
+	worker    string
+	deadline  time.Time
+	grantedNS int64 // trace clock at grant (0 without tracing)
+	renewals  int   // heartbeats that renewed this lease
+}
+
+// workerState is the coordinator's view of one worker, fed by every contact
+// (lease polls, heartbeats, submissions). It powers the morrigan_fleet_*
+// gauges and the clock-offset estimation that re-bases worker spans onto the
+// coordinator's trace epoch.
+type workerState struct {
+	last         time.Time
+	rttNS        int64 // last worker-reported heartbeat round trip
+	bestRTTNS    int64 // smallest round trip seen — its offset sample wins
+	offsetNS     int64 // worker trace clock + offset ≈ coordinator trace clock
+	hasOffset    bool
+	heapBytes    uint64 // last worker-reported live heap
+	activeLeases int
+	jobsDone     int
+	instructions uint64  // simulated instructions across accepted submissions
+	busySeconds  float64 // sum of accepted submissions' elapsed time
 }
 
 // Coordinator owns a campaign's distributed execution: it collects jobs from
@@ -86,7 +116,7 @@ type Coordinator struct {
 	queue   []string // FIFO of keys awaiting lease (may hold stale copies)
 	leases  map[string]*lease
 	specs   map[string]workloads.Spec // workload hash -> spec, for corpus serving
-	workers map[string]time.Time      // worker name -> last contact
+	workers map[string]*workerState   // worker name -> fleet state
 	wake    chan struct{}             // closed and replaced when the queue gains work
 	nextID  uint64
 	closed  bool
@@ -114,7 +144,7 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		entries: make(map[string]*jobEntry),
 		leases:  make(map[string]*lease),
 		specs:   make(map[string]workloads.Spec),
-		workers: make(map[string]time.Time),
+		workers: make(map[string]*workerState),
 		wake:    make(chan struct{}),
 		mux:     http.NewServeMux(),
 	}
@@ -190,7 +220,8 @@ func (c *Coordinator) ExecuteRemote(ctx context.Context, job runner.Job, key str
 	}
 	e, ok := c.entries[key]
 	if !ok {
-		e = &jobEntry{key: key, job: job, state: statePending, done: make(chan struct{})}
+		e = &jobEntry{key: key, job: job, state: statePending, done: make(chan struct{}),
+			enqueuedNS: c.opt.Spans.Now()}
 		c.entries[key] = e
 		c.queue = append(c.queue, key)
 		for _, w := range job.Workloads {
@@ -218,6 +249,18 @@ func (c *Coordinator) wakeLocked() {
 	c.wake = make(chan struct{})
 }
 
+// touchWorkerLocked records contact from a worker, creating its fleet state
+// on first sight. Caller holds c.mu.
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) *workerState {
+	ws := c.workers[name]
+	if ws == nil {
+		ws = &workerState{}
+		c.workers[name] = ws
+	}
+	ws.last = now
+	return ws
+}
+
 // reclaimLocked expires overdue leases, requeueing their jobs. Caller holds
 // c.mu.
 func (c *Coordinator) reclaimLocked(now time.Time) {
@@ -227,6 +270,9 @@ func (c *Coordinator) reclaimLocked(now time.Time) {
 		}
 		delete(c.leases, id)
 		c.expirations++
+		if ws := c.workers[l.worker]; ws != nil && ws.activeLeases > 0 {
+			ws.activeLeases--
+		}
 		if e := c.entries[l.key]; e != nil && e.state == stateLeased {
 			e.state = statePending
 			c.queue = append(c.queue, l.key)
@@ -265,24 +311,38 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	for {
 		now := time.Now()
 		c.mu.Lock()
-		c.workers[req.Worker] = now
+		ws := c.touchWorkerLocked(req.Worker, now)
 		c.reclaimLocked(now)
 		if e, ok := c.popLocked(); ok {
 			c.nextID++
 			l := &lease{
-				id:       fmt.Sprintf("l%06d", c.nextID),
-				key:      e.key,
-				worker:   req.Worker,
-				deadline: now.Add(c.opt.LeaseTTL),
+				id:        fmt.Sprintf("l%06d", c.nextID),
+				key:       e.key,
+				worker:    req.Worker,
+				deadline:  now.Add(c.opt.LeaseTTL),
+				grantedNS: c.opt.Spans.Now(),
 			}
 			c.leases[l.id] = l
 			e.state = stateLeased
+			ws.activeLeases++
+			if c.opt.Spans != nil {
+				c.opt.Spans.Record(spans.Span{
+					TraceID: e.key,
+					Name:    "lease.wait",
+					Worker:  "coordinator",
+					StartNS: e.enqueuedNS,
+					DurNS:   l.grantedNS - e.enqueuedNS,
+					Attrs:   map[string]string{"worker": req.Worker},
+				})
+			}
 			resp := leaseResponse{
 				Protocol: ProtocolVersion,
 				LeaseID:  l.id,
 				Key:      e.key,
 				Job:      encodeJob(e.job),
 				TTLMS:    c.opt.LeaseTTL.Milliseconds(),
+				TraceID:  e.key,
+				Trace:    c.opt.Spans != nil,
 			}
 			c.mu.Unlock()
 			writeJSON(w, http.StatusOK, resp)
@@ -314,6 +374,8 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 // handleHeartbeat renews a lease; 410 Gone tells the worker its lease
 // expired and the job was (or will be) reassigned, so it should abandon it.
+// Beats also feed the fleet view and the clock-offset estimator (see
+// heartbeatRequest).
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
 	if !decodeBody(w, r, &req) {
@@ -323,8 +385,23 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	c.reclaimLocked(now)
 	l, ok := c.leases[req.LeaseID]
+	name := req.Worker
 	if ok {
 		l.deadline = now.Add(c.opt.LeaseTTL)
+		l.renewals++
+		if name == "" {
+			name = l.worker
+		}
+	}
+	if name != "" {
+		ws := c.touchWorkerLocked(name, now)
+		if req.HeapBytes > 0 {
+			ws.heapBytes = req.HeapBytes
+		}
+		if req.RTTNS > 0 {
+			ws.rttNS = req.RTTNS
+		}
+		c.updateOffsetLocked(ws, req.ClockNS, req.RTTNS)
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -332,6 +409,25 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// updateOffsetLocked refines a worker's clock-offset estimate from one
+// (clock, rtt) sample: the worker's clock reading is assumed to be taken
+// rtt/2 before arrival, so offset = coordinatorNow − workerClock − rtt/2.
+// The sample with the smallest round trip is the least-skewed estimate and
+// wins; samples without a measured round trip only seed a missing estimate.
+// Caller holds c.mu.
+func (c *Coordinator) updateOffsetLocked(ws *workerState, clockNS, rttNS int64) {
+	if c.opt.Spans == nil || clockNS <= 0 {
+		return
+	}
+	better := !ws.hasOffset || (rttNS > 0 && (ws.bestRTTNS == 0 || rttNS <= ws.bestRTTNS))
+	if !better {
+		return
+	}
+	ws.offsetNS = c.opt.Spans.Now() - clockNS - rttNS/2
+	ws.bestRTTNS = rttNS
+	ws.hasOffset = true
 }
 
 // handleSubmit records a finished job's result. The first submission for a
@@ -347,12 +443,39 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.workers[req.Worker] = time.Now()
-	delete(c.leases, req.LeaseID)
+	now := time.Now()
+	ws := c.touchWorkerLocked(req.Worker, now)
+	l := c.leases[req.LeaseID]
+	if l != nil {
+		delete(c.leases, req.LeaseID)
+		if lws := c.workers[l.worker]; lws != nil && lws.activeLeases > 0 {
+			lws.activeLeases--
+		}
+	}
+	c.updateOffsetLocked(ws, req.ClockNS, ws.rttNS)
 	e, ok := c.entries[req.Key]
 	if !ok {
 		http.Error(w, "fabric: unknown job key", http.StatusNotFound)
 		return
+	}
+	if c.opt.Spans != nil {
+		// The worker's spans are on its own clock; re-base them with its
+		// offset estimate. Import slides the batch forward if the estimate
+		// overshoots, so assembled traces never start before the epoch.
+		c.opt.Spans.Import(req.Spans, ws.offsetNS)
+		if l != nil {
+			c.opt.Spans.Record(spans.Span{
+				TraceID: req.Key,
+				Name:    "lease",
+				Worker:  "coordinator",
+				StartNS: l.grantedNS,
+				DurNS:   c.opt.Spans.Now() - l.grantedNS,
+				Attrs: map[string]string{
+					"worker":   req.Worker,
+					"renewals": fmt.Sprint(l.renewals),
+				},
+			})
+		}
 	}
 	if e.state == stateDone {
 		c.duplicates++
@@ -381,6 +504,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	e.result = res
 	e.state = stateDone
 	close(e.done)
+	ws.jobsDone++
+	ws.instructions += req.Result.SimInstructions
+	ws.busySeconds += req.Result.ElapsedMS / 1000
 	writeJSON(w, http.StatusOK, submitResponse{Accepted: true})
 }
 
@@ -427,22 +553,38 @@ func (c *Coordinator) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, f)
 }
 
-// CoordinatorStatus is the /fabric/status document.
-type CoordinatorStatus struct {
-	Protocol         int    `json:"protocol"`
-	JobsPending      int    `json:"jobs_pending"`
-	JobsLeased       int    `json:"jobs_leased"`
-	JobsDone         int    `json:"jobs_done"`
-	Leases           int    `json:"leases"`
-	Workers          int    `json:"workers"`
-	LeaseExpirations uint64 `json:"lease_expirations"`
-	DuplicateSubmits uint64 `json:"duplicate_submits"`
-	MismatchSubmits  uint64 `json:"mismatch_submits"`
-	CorpusServed     uint64 `json:"corpus_served"`
+// FleetWorker is one worker's row in the coordinator's fleet view, surfaced
+// in /fabric/status and as morrigan_fleet_* gauges.
+type FleetWorker struct {
+	Name                string  `json:"name"`
+	ActiveLeases        int     `json:"active_leases"`
+	JobsDone            int     `json:"jobs_done"`
+	Instructions        uint64  `json:"instructions"`
+	InstrPerSec         float64 `json:"instr_per_sec"`
+	HeartbeatRTTSeconds float64 `json:"heartbeat_rtt_seconds"`
+	HeapBytes           uint64  `json:"heap_bytes"`
+	LastContactSeconds  float64 `json:"last_contact_seconds"`
+	ClockOffsetSeconds  float64 `json:"clock_offset_seconds"`
 }
 
-// Status snapshots the coordinator's counters.
+// CoordinatorStatus is the /fabric/status document.
+type CoordinatorStatus struct {
+	Protocol         int           `json:"protocol"`
+	JobsPending      int           `json:"jobs_pending"`
+	JobsLeased       int           `json:"jobs_leased"`
+	JobsDone         int           `json:"jobs_done"`
+	Leases           int           `json:"leases"`
+	Workers          int           `json:"workers"`
+	LeaseExpirations uint64        `json:"lease_expirations"`
+	DuplicateSubmits uint64        `json:"duplicate_submits"`
+	MismatchSubmits  uint64        `json:"mismatch_submits"`
+	CorpusServed     uint64        `json:"corpus_served"`
+	Fleet            []FleetWorker `json:"fleet,omitempty"`
+}
+
+// Status snapshots the coordinator's counters and per-worker fleet view.
 func (c *Coordinator) Status() CoordinatorStatus {
+	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := CoordinatorStatus{
@@ -464,6 +606,23 @@ func (c *Coordinator) Status() CoordinatorStatus {
 			st.JobsDone++
 		}
 	}
+	for name, ws := range c.workers {
+		fw := FleetWorker{
+			Name:                name,
+			ActiveLeases:        ws.activeLeases,
+			JobsDone:            ws.jobsDone,
+			Instructions:        ws.instructions,
+			HeartbeatRTTSeconds: float64(ws.rttNS) / 1e9,
+			HeapBytes:           ws.heapBytes,
+			LastContactSeconds:  now.Sub(ws.last).Seconds(),
+			ClockOffsetSeconds:  float64(ws.offsetNS) / 1e9,
+		}
+		if ws.busySeconds > 0 {
+			fw.InstrPerSec = float64(ws.instructions) / ws.busySeconds
+		}
+		st.Fleet = append(st.Fleet, fw)
+	}
+	sort.Slice(st.Fleet, func(i, j int) bool { return st.Fleet[i].Name < st.Fleet[j].Name })
 	return st
 }
 
@@ -472,7 +631,7 @@ func (c *Coordinator) Status() CoordinatorStatus {
 // -serve and -fabric reports fabric state on /metrics.
 func (c *Coordinator) Gauges() []obs.Gauge {
 	st := c.Status()
-	return []obs.Gauge{
+	gs := []obs.Gauge{
 		{Name: "morrigan_fabric_jobs_pending", Help: "Fabric jobs awaiting a worker lease.", Value: float64(st.JobsPending)},
 		{Name: "morrigan_fabric_jobs_leased", Help: "Fabric jobs currently leased to workers.", Value: float64(st.JobsLeased)},
 		{Name: "morrigan_fabric_jobs_done", Help: "Fabric jobs with an accepted result.", Value: float64(st.JobsDone)},
@@ -481,6 +640,18 @@ func (c *Coordinator) Gauges() []obs.Gauge {
 		{Name: "morrigan_fabric_duplicate_submits", Help: "Submissions discarded first-write-wins.", Value: float64(st.DuplicateSubmits)},
 		{Name: "morrigan_fabric_mismatch_submits", Help: "Discarded submissions whose stats differed from the accepted result.", Value: float64(st.MismatchSubmits)},
 	}
+	for _, fw := range st.Fleet {
+		labels := map[string]string{"worker": fw.Name}
+		gs = append(gs,
+			obs.Gauge{Name: "morrigan_fleet_worker_instr_per_sec", Help: "Per-worker simulation throughput over accepted submissions.", Labels: labels, Value: fw.InstrPerSec},
+			obs.Gauge{Name: "morrigan_fleet_worker_active_leases", Help: "Leases currently held by the worker.", Labels: labels, Value: float64(fw.ActiveLeases)},
+			obs.Gauge{Name: "morrigan_fleet_worker_jobs_done", Help: "Jobs the worker has submitted and had accepted.", Labels: labels, Value: float64(fw.JobsDone)},
+			obs.Gauge{Name: "morrigan_fleet_worker_heartbeat_rtt_seconds", Help: "Worker-measured round-trip time of its last heartbeat.", Labels: labels, Value: fw.HeartbeatRTTSeconds},
+			obs.Gauge{Name: "morrigan_fleet_worker_heap_bytes", Help: "Worker-reported live heap (runtime HeapAlloc).", Labels: labels, Value: float64(fw.HeapBytes)},
+			obs.Gauge{Name: "morrigan_fleet_worker_last_contact_seconds", Help: "Seconds since the worker last contacted the coordinator.", Labels: labels, Value: fw.LastContactSeconds},
+		)
+	}
+	return gs
 }
 
 // handleStatus serves the status document.

@@ -1,0 +1,255 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"morrigan/internal/runner"
+	"morrigan/internal/spans"
+)
+
+// TestFabricTraceAssembly runs a traced two-worker campaign and checks the
+// assembled trace: every job's spans appear under its canonical key, the
+// coordinator contributes lease.wait/lease spans, workers contribute
+// execute/simulate spans re-based onto the coordinator's clock, and — the
+// inertness half — the merged stats are bit-identical to an untraced
+// in-process run.
+func TestFabricTraceAssembly(t *testing.T) {
+	jobs := fabricJobs(5)
+	local, err := runner.Run(context.Background(), jobs, runner.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := spans.NewRecorder("coordinator")
+	coord := NewCoordinator(CoordinatorOptions{Spans: rec})
+	_, stop := startFabric(t, coord,
+		newTestWorker(t, "w1", WorkerOptions{}),
+		newTestWorker(t, "w2", WorkerOptions{}))
+	defer stop()
+
+	remote, err := runner.Run(context.Background(), jobs,
+		runner.Options{Workers: 4, Remote: coord, Spans: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if remote[i].Err != nil {
+			t.Fatalf("job %d failed over the fabric: %v", i, remote[i].Err)
+		}
+		if remote[i].Stats != local[i].Stats {
+			t.Errorf("job %d: traced fabric stats differ from the untraced in-process run", i)
+		}
+	}
+
+	all := rec.Spans()
+	if len(all) < len(jobs) {
+		t.Fatalf("trace holds %d spans for %d jobs", len(all), len(jobs))
+	}
+	keys := map[string]bool{}
+	for _, j := range jobs {
+		k, ok := j.Key()
+		if !ok {
+			t.Fatal("fabric test job has no key")
+		}
+		keys[k] = true
+	}
+	byTrace := map[string]map[string][]spans.Span{}
+	for _, sp := range all {
+		if !keys[sp.TraceID] {
+			t.Errorf("span %s has trace id %.12s… that is no job key", sp.Name, sp.TraceID)
+			continue
+		}
+		if sp.StartNS < 0 || sp.DurNS < 0 {
+			t.Errorf("span %s/%.12s… has negative clock after re-basing: start=%d dur=%d",
+				sp.Name, sp.TraceID, sp.StartNS, sp.DurNS)
+		}
+		m := byTrace[sp.TraceID]
+		if m == nil {
+			m = map[string][]spans.Span{}
+			byTrace[sp.TraceID] = m
+		}
+		m[sp.Name] = append(m[sp.Name], sp)
+	}
+	for k := range keys {
+		phases := byTrace[k]
+		if phases == nil {
+			t.Errorf("job %.12s… contributed no spans", k)
+			continue
+		}
+		for _, name := range []string{"lease.wait", "lease", "execute", "simulate"} {
+			if len(phases[name]) == 0 {
+				t.Errorf("job %.12s… missing %q span", k, name)
+			}
+		}
+		for _, sp := range phases["lease.wait"] {
+			if sp.Worker != "coordinator" {
+				t.Errorf("lease.wait span worker = %q, want coordinator", sp.Worker)
+			}
+		}
+		for _, sp := range phases["execute"] {
+			if sp.Worker != "w1" && sp.Worker != "w2" {
+				t.Errorf("execute span worker = %q, want a fabric worker", sp.Worker)
+			}
+		}
+		// The worker's execute span must land inside the coordinator's lease
+		// span — the whole point of the clock re-basing.
+		if len(phases["lease"]) == 1 && len(phases["execute"]) == 1 {
+			l, e := phases["lease"][0], phases["execute"][0]
+			if e.StartNS < l.StartNS || e.End() > l.End() {
+				t.Errorf("job %.12s…: execute [%d,%d] escapes lease [%d,%d] after re-basing",
+					k, e.StartNS, e.End(), l.StartNS, l.End())
+			}
+		}
+	}
+
+	// Fleet view: both workers accounted, all leases drained.
+	st := coord.Status()
+	if len(st.Fleet) != 2 {
+		t.Fatalf("fleet has %d workers, want 2", len(st.Fleet))
+	}
+	done := 0
+	for _, fw := range st.Fleet {
+		if fw.ActiveLeases != 0 {
+			t.Errorf("worker %s still shows %d active leases", fw.Name, fw.ActiveLeases)
+		}
+		done += fw.JobsDone
+	}
+	if done != len(jobs) {
+		t.Errorf("fleet jobs_done sums to %d, want %d", done, len(jobs))
+	}
+}
+
+// TestFabricFleetGauges checks the coordinator's gauge source carries the
+// per-worker morrigan_fleet_* series with worker labels.
+func TestFabricFleetGauges(t *testing.T) {
+	jobs := fabricJobs(3)
+	coord := NewCoordinator(CoordinatorOptions{})
+	_, stop := startFabric(t, coord, newTestWorker(t, "solo", WorkerOptions{}))
+	defer stop()
+	if _, err := runner.Run(context.Background(), jobs, runner.Options{Workers: 2, Remote: coord}); err != nil {
+		t.Fatal(err)
+	}
+
+	found := map[string]float64{}
+	for _, g := range coord.Gauges() {
+		if g.Labels["worker"] == "solo" {
+			found[g.Name] = g.Value
+		}
+	}
+	if got := found["morrigan_fleet_worker_jobs_done"]; got != float64(len(jobs)) {
+		t.Errorf("fleet jobs_done gauge = %v, want %d", got, len(jobs))
+	}
+	if got := found["morrigan_fleet_worker_instr_per_sec"]; got <= 0 {
+		t.Errorf("fleet instr_per_sec gauge = %v, want > 0", got)
+	}
+	for _, name := range []string{
+		"morrigan_fleet_worker_active_leases",
+		"morrigan_fleet_worker_heartbeat_rtt_seconds",
+		"morrigan_fleet_worker_heap_bytes",
+		"morrigan_fleet_worker_last_contact_seconds",
+	} {
+		if _, ok := found[name]; !ok {
+			t.Errorf("gauge %s missing for worker solo", name)
+		}
+	}
+}
+
+// TestFabricAbandonReason drives a worker against a hostile fake coordinator
+// that grants one lease then declares it Gone on the first heartbeat. The
+// worker must cancel the job, submit nothing, and record an abandon span whose
+// reason is the heartbeat verdict.
+func TestFabricAbandonReason(t *testing.T) {
+	job := fabricJobs(1)[0]
+	job.Measure = 3_000_000 // slow enough that the heartbeat fires mid-job
+	key, _ := job.Key()
+
+	var mu sync.Mutex
+	granted := false
+	submitted := false
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/fabric/lease":
+			mu.Lock()
+			first := !granted
+			granted = true
+			mu.Unlock()
+			if !first {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			writeJSON(w, http.StatusOK, leaseResponse{
+				Protocol: ProtocolVersion,
+				LeaseID:  "l1",
+				Key:      key,
+				Job:      encodeJob(job),
+				TTLMS:    300, // heartbeat every 100ms, mid-job but not timeout-tight
+				TraceID:  key,
+			})
+		case "/fabric/heartbeat":
+			http.Error(w, "gone", http.StatusGone)
+		case "/fabric/submit":
+			mu.Lock()
+			submitted = true
+			mu.Unlock()
+			writeJSON(w, http.StatusOK, submitResponse{Accepted: true})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer fake.Close()
+
+	rec := spans.NewRecorder("w1")
+	w, err := NewWorker(WorkerOptions{
+		Coordinator: fake.URL,
+		Name:        "w1",
+		PollWait:    50 * time.Millisecond,
+		Spans:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker run: %v", err)
+		}
+	}()
+
+	var abandon *spans.Span
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		for _, sp := range rec.Spans() {
+			if sp.Name == "abandon" {
+				abandon = &sp
+				break
+			}
+		}
+		if abandon != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	if abandon == nil {
+		t.Fatal("worker never recorded an abandon span after losing its lease")
+	}
+	if abandon.TraceID != key {
+		t.Errorf("abandon span trace id %.12s…, want the job key", abandon.TraceID)
+	}
+	if got := abandon.Attrs["reason"]; got != "lease lost" {
+		t.Errorf("abandon reason = %q, want \"lease lost\"", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if submitted {
+		t.Error("worker submitted a result for a job it should have abandoned")
+	}
+}

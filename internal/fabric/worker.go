@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strings"
 	"time"
 
 	"morrigan/internal/runner"
+	"morrigan/internal/spans"
 	"morrigan/internal/trace"
 	"morrigan/internal/tracestore"
 	"morrigan/internal/workloads"
@@ -41,6 +44,11 @@ type WorkerOptions struct {
 	PollWait time.Duration
 	// Log, when non-nil, receives one line per job and per notable event.
 	Log io.Writer
+	// Spans, when non-nil, accumulates this worker's spans locally (for a
+	// worker-side -trace-out export) in addition to shipping them to a
+	// tracing coordinator with each submission. Spans are recorded per job
+	// whenever either side wants them.
+	Spans *spans.Recorder
 }
 
 // Worker is a stateless fabric worker: it leases jobs from a coordinator,
@@ -52,6 +60,11 @@ type Worker struct {
 	opt    WorkerOptions
 	base   string
 	client *http.Client
+
+	// epoch anchors every per-job span recorder on one monotonic clock, so
+	// all of this worker's spans share a timebase and one clock sample per
+	// submission suffices to re-base them coordinator-side.
+	epoch time.Time
 
 	// jobsRun counts jobs this worker executed and submitted (informational).
 	jobsRun int
@@ -75,12 +88,22 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	epoch := time.Now()
+	if opt.Spans != nil {
+		// A caller-supplied recorder (worker-local -trace-out) defines the
+		// epoch; per-job recorders adopt it so both sets of spans align.
+		epoch = epoch.Add(-time.Duration(opt.Spans.Now()))
+	}
 	return &Worker{
 		opt:    opt,
 		base:   strings.TrimSuffix(opt.Coordinator, "/"),
 		client: client,
+		epoch:  epoch,
 	}, nil
 }
+
+// now is the worker's trace clock: nanoseconds since its epoch.
+func (w *Worker) now() int64 { return int64(time.Since(w.epoch)) }
 
 // JobsRun reports how many jobs this worker executed and submitted.
 func (w *Worker) JobsRun() int { return w.jobsRun }
@@ -161,6 +184,12 @@ func (w *Worker) lease(ctx context.Context) (leaseResponse, bool, error) {
 // reassigned run's result stands instead.
 func (w *Worker) process(ctx context.Context, grant leaseResponse) {
 	job := decodeJob(grant.Job)
+	// One recorder per job, on the worker's shared epoch, whenever the
+	// coordinator is assembling a trace or the worker exports its own.
+	var rec *spans.Recorder
+	if grant.Trace || w.opt.Spans != nil {
+		rec = spans.NewRecorderAt(w.opt.Name, w.epoch)
+	}
 	if key, ok := job.Key(); !ok || key != grant.Key {
 		// The job does not re-derive the coordinator's key: a hash-version or
 		// protocol skew between builds. Fail the job loudly — silently
@@ -168,22 +197,23 @@ func (w *Worker) process(ctx context.Context, grant leaseResponse) {
 		// the same wall on every worker.
 		w.logf("job %s key skew (coordinator %.12s…); failing it", job.Name(), grant.Key)
 		w.submit(ctx, grant, runner.Result{Job: job, Err: fmt.Errorf(
-			"fabric: worker cannot re-derive job key %.12s… (mixed builds?)", grant.Key)})
+			"fabric: worker cannot re-derive job key %.12s… (mixed builds?)", grant.Key)}, nil)
 		return
 	}
 
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	hb := &heartbeatState{}
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		w.heartbeatLoop(jctx, cancel, grant)
+		w.heartbeatLoop(jctx, cancel, grant, hb)
 	}()
 
 	w.logf("running %s (%.12s…)", job.Name(), grant.Key)
-	opt := runner.Options{Workers: 1}
+	opt := runner.Options{Workers: 1, Spans: rec}
 	if w.opt.Corpus != nil {
-		opt.NewReader = w.newReader(job)
+		opt.NewReader = w.newReader(job, rec, grant.TraceID)
 	}
 	results, _ := runner.Run(jctx, []runner.Job{job}, opt)
 	res := results[0]
@@ -194,55 +224,124 @@ func (w *Worker) process(ctx context.Context, grant leaseResponse) {
 		// The failure is (or may be) an artifact of cancellation — a lost
 		// lease or worker shutdown, not the job. Submitting it would poison
 		// the campaign first-write-wins; let the lease expire and the job be
-		// reassigned instead.
+		// reassigned instead. The abandon span records why the job was
+		// cancelled — the heartbeat loop's verdict, or a worker shutdown.
+		reason := hb.reason
+		if reason == "" {
+			reason = "worker shutdown"
+		}
+		rec.Start(traceIDFor(grant), "abandon").Attr("reason", reason).End()
+		w.keepSpans(rec)
 		w.logf("abandoning %s after cancellation (%v)", job.Name(), res.Err)
 		return
 	}
-	w.submit(ctx, grant, res)
+	w.submit(ctx, grant, res, rec)
+	w.keepSpans(rec)
+}
+
+// traceIDFor is the trace id a grant's spans use: the explicit id when the
+// coordinator sent one (protocol ≥ 2 always does), else the job key.
+func traceIDFor(grant leaseResponse) string {
+	if grant.TraceID != "" {
+		return grant.TraceID
+	}
+	return grant.Key
+}
+
+// keepSpans folds a finished job's spans into the worker-local recorder for a
+// worker-side export. Offsets are zero — both recorders share one epoch.
+func (w *Worker) keepSpans(rec *spans.Recorder) {
+	if w.opt.Spans != nil && rec != nil {
+		w.opt.Spans.Import(rec.Spans(), 0)
+	}
+}
+
+// heartbeatState carries the heartbeat loop's verdict back to process: why
+// the job was cancelled, for the abandon span. Written before the loop
+// returns; process reads it only after the loop's done channel closes.
+type heartbeatState struct {
+	reason string
 }
 
 // heartbeatLoop renews the lease at a third of its TTL until ctx ends,
-// cancelling the job when the lease is lost (410) or the coordinator stops
-// answering.
-func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelFunc, grant leaseResponse) {
+// cancelling the job when the lease is lost (410) or the coordinator stays
+// unreachable. A transient failure gets one in-tick retry after a jittered
+// pause, all within the TTL/3 beat budget, so a single dropped packet or
+// coordinator GC pause does not throw away a long simulation; only a failed
+// retry cancels. Each beat also reports the worker's trace clock, its
+// previously measured heartbeat round trip, and its live heap — the
+// coordinator's clock-offset and fleet-telemetry feed.
+func (w *Worker) heartbeatLoop(ctx context.Context, cancel context.CancelFunc, grant leaseResponse, hb *heartbeatState) {
 	interval := time.Duration(grant.TTLMS) * time.Millisecond / 3
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	misses := 0
+	var lastRTT int64
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
 		}
-		rctx, rcancel := context.WithTimeout(ctx, interval)
-		var ack map[string]bool
-		status, err := w.post(rctx, "/fabric/heartbeat", heartbeatRequest{LeaseID: grant.LeaseID}, &ack)
-		rcancel()
+		beat := func(timeout time.Duration) (int, error) {
+			rctx, rcancel := context.WithTimeout(ctx, timeout)
+			defer rcancel()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			var ack map[string]bool
+			sent := time.Now()
+			status, err := w.post(rctx, "/fabric/heartbeat", heartbeatRequest{
+				LeaseID:   grant.LeaseID,
+				Worker:    w.opt.Name,
+				ClockNS:   w.now(),
+				RTTNS:     lastRTT,
+				HeapBytes: m.HeapAlloc,
+			}, &ack)
+			if err == nil {
+				lastRTT = int64(time.Since(sent))
+			}
+			return status, err
+		}
+		status, err := beat(interval / 2)
+		transient := err != nil || (status != http.StatusOK && status != http.StatusGone)
+		if transient && ctx.Err() == nil {
+			// Jittered retry inside the remaining beat budget: sleep an
+			// eighth to a quarter of the interval, then try once more.
+			pause := interval/8 + time.Duration(rand.Int63n(int64(interval/8)+1))
+			select {
+			case <-time.After(pause):
+			case <-ctx.Done():
+				return
+			}
+			status, err = beat(interval / 4)
+		}
 		switch {
 		case err == nil && status == http.StatusOK:
-			misses = 0
 		case err == nil && status == http.StatusGone:
+			hb.reason = "lease lost"
 			w.logf("lease %s lost; cancelling job", grant.LeaseID)
 			cancel()
 			return
+		case ctx.Err() != nil:
+			return
 		default:
-			// Transient failures tolerate one retry interval; two misses in
-			// a row means the lease is as good as expired.
-			if misses++; misses >= 2 {
-				w.logf("heartbeat unreachable; cancelling job")
-				cancel()
-				return
+			hb.reason = "heartbeat unreachable"
+			if err == nil {
+				hb.reason = fmt.Sprintf("heartbeat rejected (status %d)", status)
 			}
+			w.logf("heartbeat failed twice (%s); cancelling job", hb.reason)
+			cancel()
+			return
 		}
 	}
 }
 
-// submit delivers one result, retrying transient failures a few times.
-func (w *Worker) submit(ctx context.Context, grant leaseResponse, res runner.Result) {
+// submit delivers one result, retrying transient failures a few times. When
+// the lease asked for tracing, the job's spans ride along with a clock sample
+// so the coordinator can re-base them.
+func (w *Worker) submit(ctx context.Context, grant leaseResponse, res runner.Result, rec *spans.Recorder) {
 	req := submitRequest{
 		Worker:  w.opt.Name,
 		LeaseID: grant.LeaseID,
@@ -258,6 +357,10 @@ func (w *Worker) submit(ctx context.Context, grant leaseResponse, res runner.Res
 	}
 	if res.Err != nil {
 		req.Result.Err = res.Err.Error()
+	}
+	if grant.Trace && rec != nil {
+		req.Spans = rec.Spans()
+		req.ClockNS = w.now()
 	}
 	for attempt := 0; attempt < 3; attempt++ {
 		rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
@@ -294,12 +397,15 @@ func (w *Worker) submit(ctx context.Context, grant leaseResponse, res runner.Res
 // workload hash and ingested, falling back to a local build when the fetch
 // fails. Either way the job reads the exact same generator output, so
 // results are bit-identical no matter where the container came from.
-func (w *Worker) newReader(job runner.Job) func(workloads.Spec) (trace.Reader, error) {
+func (w *Worker) newReader(job runner.Job, rec *spans.Recorder, traceID string) func(workloads.Spec) (trace.Reader, error) {
 	records := job.Warmup + job.Measure
 	return func(spec workloads.Spec) (trace.Reader, error) {
 		hash := spec.Hash()
 		if e, ok := w.opt.Corpus.Manifest().Entries[hash]; !ok || e.Records < records {
-			if err := w.fetchCorpus(spec, hash, records); err != nil {
+			sp := rec.Start(traceID, "corpus.fetch")
+			err := w.fetchCorpus(spec, hash, records)
+			sp.Attr("ok", fmt.Sprint(err == nil)).End()
+			if err != nil {
 				w.logf("corpus fetch %.12s… failed (%v); building locally", hash, err)
 			}
 		}

@@ -62,7 +62,7 @@ func formatValue(v float64) string {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
-	live := s.liveJobs(now)
+	live, threshold := s.liveJobs(now)
 
 	s.mu.Lock()
 	s.scrapes++
@@ -135,14 +135,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.metric("morrigan_scrapes_total", "Scrapes served by this /metrics endpoint.", "counter")
 	p.sample("morrigan_scrapes_total", nil, float64(scrapes))
 
-	// Externally registered gauges (e.g. fabric coordinator state).
+	// Straggler detector and SSE back-pressure.
+	stragglers := 0
+	for _, lj := range live {
+		if lj.Straggler {
+			stragglers++
+		}
+	}
+	p.metric("morrigan_campaign_straggler_threshold_seconds", "Straggler cutoff: k x the running p95 of completed-job durations (0 while under-sampled).", "gauge")
+	p.sample("morrigan_campaign_straggler_threshold_seconds", nil, threshold)
+	p.metric("morrigan_campaign_stragglers", "Active jobs whose running time exceeds the straggler threshold.", "gauge")
+	p.sample("morrigan_campaign_stragglers", nil, float64(stragglers))
+	p.metric("morrigan_sse_dropped_events_total", "Events dropped on full /events subscriber queues.", "counter")
+	p.sample("morrigan_sse_dropped_events_total", nil, float64(s.hub.droppedTotal()))
+
+	// Externally registered gauges (e.g. fabric coordinator and fleet state).
+	// Gauges sharing a name form one family: emit HELP/TYPE once, then every
+	// labelled sample, preserving first-seen family order.
 	s.mu.Lock()
 	sources := append([]func() []Gauge(nil), s.gaugeSources...)
 	s.mu.Unlock()
+	var order []string
+	families := make(map[string][]Gauge)
 	for _, src := range sources {
 		for _, g := range src() {
-			p.metric(g.Name, g.Help, "gauge")
-			p.sample(g.Name, nil, g.Value)
+			if _, ok := families[g.Name]; !ok {
+				order = append(order, g.Name)
+			}
+			families[g.Name] = append(families[g.Name], g)
+		}
+	}
+	for _, name := range order {
+		fam := families[name]
+		p.metric(name, fam[0].Help, "gauge")
+		for _, g := range fam {
+			p.sample(name, g.Labels, g.Value)
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"time"
 
@@ -40,6 +41,19 @@ import (
 // maxRecent bounds the finished-job history kept for /campaign; older entries
 // roll into the aggregate counters only.
 const maxRecent = 64
+
+// maxDurations bounds the completed-job duration history the straggler
+// detector computes its running p95 over.
+const maxDurations = 512
+
+// stragglerMinSamples is how many completed durations the detector needs
+// before it judges anyone — a p95 over a handful of jobs is noise.
+const stragglerMinSamples = 4
+
+// DefaultStragglerK is the straggler threshold multiplier: a live job is
+// flagged once its execution time exceeds k× the running p95 of completed job
+// durations.
+const DefaultStragglerK = 3.0
 
 // jobState tracks one campaign job from JobStarted to JobFinished.
 type jobState struct {
@@ -81,6 +95,9 @@ type Server struct {
 	gaugeSources []func() []Gauge        // extra /metrics gauges (see AddGaugeSource)
 	readiness    map[string]func() error // named readiness checks (see AddReadiness)
 
+	durations []float64    // completed-job wall seconds (bounded window) for the p95
+	flagged   map[int]bool // active job indices already announced as stragglers
+
 	hub *hub
 	mux *http.ServeMux
 
@@ -96,6 +113,7 @@ func New() *Server {
 		started:   time.Now(),
 		active:    make(map[int]*jobState),
 		readiness: make(map[string]func() error),
+		flagged:   make(map[int]bool),
 		hub:       newHub(),
 		mux:       http.NewServeMux(),
 	}
@@ -195,12 +213,19 @@ func (s *Server) JobFinished(index int, res runner.Result) {
 	}
 	s.mu.Lock()
 	delete(s.active, index)
+	delete(s.flagged, index)
 	s.doneJobs++
 	if res.Err != nil {
 		s.failedJobs++
 	}
 	s.doneInstr += res.SimInstructions
 	s.doneElapsed += res.Elapsed.Seconds()
+	if res.Err == nil && res.Elapsed > 0 {
+		s.durations = append(s.durations, res.Elapsed.Seconds())
+		if len(s.durations) > maxDurations {
+			s.durations = s.durations[len(s.durations)-maxDurations:]
+		}
+	}
 	s.recent = append(s.recent, f)
 	if len(s.recent) > maxRecent {
 		s.recent = s.recent[len(s.recent)-maxRecent:]
@@ -237,18 +262,43 @@ type liveJob struct {
 	PBHitRate    float64 `json:"pb_hit_rate"`
 	InstrPerSec  float64 `json:"instr_per_sec"`
 	Samples      int     `json:"samples"`
+	Straggler    bool    `json:"straggler,omitempty"`
+}
+
+// stragglerThresholdLocked computes the current straggler cutoff: k× the p95
+// of completed-job durations, or 0 while too few jobs have finished to judge.
+// Callers hold s.mu.
+func (s *Server) stragglerThresholdLocked() float64 {
+	if len(s.durations) < stragglerMinSamples {
+		return 0
+	}
+	ds := append([]float64(nil), s.durations...)
+	sort.Float64s(ds)
+	// Nearest-rank p95 (matches the runner's summary percentiles).
+	idx := int(float64(len(ds))*0.95+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return DefaultStragglerK * ds[idx]
 }
 
 // liveJobs snapshots the active jobs (probe snapshots are read without
-// holding s.mu beyond the map walk; Snapshot is lock-free).
-func (s *Server) liveJobs(now time.Time) []liveJob {
+// holding s.mu beyond the map walk; Snapshot is lock-free) and applies the
+// straggler detector: a job whose running time exceeds the returned threshold
+// is marked, and announced once on the SSE stream the first time it crosses.
+func (s *Server) liveJobs(now time.Time) ([]liveJob, float64) {
 	s.mu.Lock()
 	states := make([]*jobState, 0, len(s.active))
 	for _, st := range s.active {
 		states = append(states, st)
 	}
+	threshold := s.stragglerThresholdLocked()
 	s.mu.Unlock()
 
+	var announce []stragglerEvent
 	jobs := make([]liveJob, 0, len(states))
 	for _, st := range states {
 		lj := liveJob{Index: st.index, Name: st.name, RunningSecs: now.Sub(st.started).Seconds()}
@@ -264,47 +314,86 @@ func (s *Server) liveJobs(now time.Time) []liveJob {
 				lj.InstrPerSec = float64(snap.Cum.Instructions) / lj.RunningSecs
 			}
 		}
+		if threshold > 0 && lj.RunningSecs > threshold {
+			lj.Straggler = true
+		}
 		jobs = append(jobs, lj)
 	}
-	return jobs
+
+	s.mu.Lock()
+	for _, lj := range jobs {
+		if lj.Straggler && !s.flagged[lj.Index] {
+			// Only announce jobs still active: a job that finished between
+			// the two lock windows already cleared its flag.
+			if _, ok := s.active[lj.Index]; ok {
+				s.flagged[lj.Index] = true
+				announce = append(announce, stragglerEvent{
+					Job:              lj.Name,
+					Index:            lj.Index,
+					RunningSeconds:   lj.RunningSecs,
+					ThresholdSeconds: threshold,
+				})
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	for _, ev := range announce {
+		s.hub.publish(event{Type: "straggler", Data: ev})
+	}
+	return jobs, threshold
 }
 
 // campaignStatus is the /campaign JSON document.
 type campaignStatus struct {
-	Schema         int           `json:"schema"`
-	JobsTotal      int           `json:"jobs_total"`
-	JobsDone       int           `json:"jobs_done"`
-	JobsFailed     int           `json:"jobs_failed"`
-	JobsActive     int           `json:"jobs_active"`
-	ElapsedSeconds float64       `json:"elapsed_seconds"`
-	ETASeconds     float64       `json:"eta_seconds"`
-	Instructions   uint64        `json:"instructions"`
-	Active         []liveJob     `json:"active"`
-	Recent         []finishedJob `json:"recent"`
+	Schema         int     `json:"schema"`
+	JobsTotal      int     `json:"jobs_total"`
+	JobsDone       int     `json:"jobs_done"`
+	JobsFailed     int     `json:"jobs_failed"`
+	JobsActive     int     `json:"jobs_active"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds"`
+	Instructions   uint64  `json:"instructions"`
+	// StragglerThresholdSeconds is the current straggler cutoff (k× the
+	// running p95 of completed-job durations; 0 while under-sampled), and
+	// Stragglers names the active jobs beyond it.
+	StragglerThresholdSeconds float64  `json:"straggler_threshold_seconds"`
+	Stragglers                []string `json:"stragglers"`
+	// SSEDroppedEvents counts events dropped on full /events subscriber
+	// queues since the server started.
+	SSEDroppedEvents uint64        `json:"sse_dropped_events"`
+	Active           []liveJob     `json:"active"`
+	Recent           []finishedJob `json:"recent"`
 }
 
 // handleCampaign serves the live JSON status.
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
-	live := s.liveJobs(now)
+	live, threshold := s.liveJobs(now)
 
 	s.mu.Lock()
 	st := campaignStatus{
-		Schema:         runner.SchemaVersion,
-		JobsTotal:      s.totalJobs,
-		JobsDone:       s.doneJobs,
-		JobsFailed:     s.failedJobs,
-		JobsActive:     len(s.active),
-		ElapsedSeconds: now.Sub(s.started).Seconds(),
-		ETASeconds:     s.eta(now),
-		Instructions:   s.doneInstr,
-		Recent:         append([]finishedJob(nil), s.recent...),
+		Schema:                    runner.SchemaVersion,
+		JobsTotal:                 s.totalJobs,
+		JobsDone:                  s.doneJobs,
+		JobsFailed:                s.failedJobs,
+		JobsActive:                len(s.active),
+		ElapsedSeconds:            now.Sub(s.started).Seconds(),
+		ETASeconds:                s.eta(now),
+		Instructions:              s.doneInstr,
+		StragglerThresholdSeconds: threshold,
+		Stragglers:                []string{},
+		SSEDroppedEvents:          s.hub.droppedTotal(),
+		Recent:                    append([]finishedJob(nil), s.recent...),
 	}
 	s.mu.Unlock()
 
 	st.Active = live
 	for _, lj := range live {
 		st.Instructions += lj.Instructions
+		if lj.Straggler {
+			st.Stragglers = append(st.Stragglers, lj.Name)
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -321,6 +410,10 @@ type Gauge struct {
 	Name string
 	// Help is the metric's # HELP line text.
 	Help string
+	// Labels are optional label name→value pairs (e.g. {"worker": "w1"}).
+	// Gauges sharing a Name but differing in Labels form one metric family
+	// and are emitted under a single HELP/TYPE header.
+	Labels map[string]string
 	// Value is the sample value at scrape time.
 	Value float64
 }

@@ -36,6 +36,16 @@ type jobEvent struct {
 	State string `json:"state"` // started | finished | failed
 }
 
+// stragglerEvent is the payload of "straggler" events: a live job whose
+// execution time crossed the straggler threshold (k× the running p95 of
+// completed jobs). Emitted once per job, when it first crosses.
+type stragglerEvent struct {
+	Job              string  `json:"job"`
+	Index            int     `json:"index"`
+	RunningSeconds   float64 `json:"running_seconds"`
+	ThresholdSeconds float64 `json:"threshold_seconds"`
+}
+
 // subscriber is one connected /events client.
 type subscriber struct {
 	ch      chan event
@@ -46,10 +56,11 @@ type subscriber struct {
 // worker goroutines (via probe sample listeners) and must stay cheap: one
 // mutex acquisition and non-blocking channel sends.
 type hub struct {
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
-	closed bool
-	seq    uint64
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	closed  bool
+	seq     uint64
+	dropped uint64 // events dropped across all subscribers, ever
 }
 
 func newHub() *hub {
@@ -70,8 +81,18 @@ func (h *hub) publish(e event) {
 		case s.ch <- e:
 		default:
 			s.dropped++
+			h.dropped++
 		}
 	}
+}
+
+// droppedTotal reports how many events have ever been dropped on full
+// subscriber queues — the back-pressure signal surfaced as the
+// morrigan_sse_dropped_events_total counter and in /campaign.
+func (h *hub) droppedTotal() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
 }
 
 // subscribe registers a new client; the returned cancel must be called.

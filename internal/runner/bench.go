@@ -5,6 +5,8 @@ import (
 	"io"
 	"runtime"
 	"sort"
+
+	"morrigan/internal/spans"
 )
 
 // BenchSchemaVersion identifies the BENCH_*.json throughput-summary schema.
@@ -52,6 +54,12 @@ type Bench struct {
 	// generation). Set by the caller after the campaign; nil for
 	// generator-backed runs.
 	TraceSupply *TraceSupply `json:"trace_supply,omitempty"`
+	// Phases, when present, is the campaign's per-phase wall-clock breakdown
+	// aggregated from the distributed-tracing span stream (internal/spans):
+	// where the campaign's CPU-seconds actually went — lookups, corpus
+	// ingest, fast-forward, timed simulation, persistence. Set by the caller
+	// after the campaign when tracing was enabled; nil otherwise.
+	Phases []spans.PhaseTotal `json:"phases,omitempty"`
 }
 
 // TraceSupply summarises a campaign's corpus-backed trace supply: where the

@@ -33,6 +33,7 @@ import (
 	"morrigan/internal/machine"
 	"morrigan/internal/sampling"
 	"morrigan/internal/sim"
+	"morrigan/internal/spans"
 	"morrigan/internal/telemetry"
 	"morrigan/internal/trace"
 	"morrigan/internal/workloads"
@@ -226,6 +227,25 @@ type Options struct {
 	// sampled job is paid once per workload and window. Without it, sampled
 	// jobs profile in memory on every run.
 	Profiles *sampling.ProfileStore
+	// Spans, when non-nil, records a distributed-tracing span for every job
+	// lifecycle phase — reuse lookups, cache waits, machine build, corpus
+	// ingest, sampled fast-forward/settle, timed simulation, persistence —
+	// under a trace id derived from the job's canonical key (internal/spans).
+	// Like every observer layer, it is provably inert: nil costs one nil
+	// check per phase, and results are bit-identical either way (asserted by
+	// the trace-purity test).
+	Spans *spans.Recorder
+}
+
+// jobTraceID derives the job's trace id: the canonical key when the job has
+// one, else a synthetic id from the campaign index and display name (unkeyed
+// jobs never leave the process, so the synthetic id needs no cross-machine
+// stability).
+func jobTraceID(key string, keyed bool, i int, j Job) string {
+	if keyed {
+		return key
+	}
+	return fmt.Sprintf("unkeyed/%d/%s", i, j.Name())
 }
 
 // Observer receives campaign lifecycle notifications, the attach surface of
@@ -350,11 +370,15 @@ func firstError(ctx context.Context, results []Result) error {
 // data-only identity bypass all of them and always execute locally.
 func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 	key, keyed := j.Key()
+	trace := jobTraceID(key, keyed, i, j)
 	if !keyed || (opt.Journal == nil && opt.Cache == nil && opt.Store == nil) {
-		return executePersisted(ctx, i, j, opt, key, keyed)
+		return executePersisted(ctx, i, j, opt, key, keyed, trace)
 	}
 	if opt.Journal != nil {
-		if st, hit := opt.Journal.Lookup(key); hit {
+		sp := opt.Spans.Start(trace, "lookup.journal")
+		st, hit := opt.Journal.Lookup(key)
+		sp.Attr("hit", fmt.Sprint(hit)).End()
+		if hit {
 			if opt.Cache != nil {
 				opt.Cache.publish(key, st)
 			}
@@ -362,7 +386,10 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 		}
 	}
 	if opt.Store != nil {
-		if st, hit := opt.Store.Lookup(key); hit {
+		sp := opt.Spans.Start(trace, "lookup.store")
+		st, hit := opt.Store.Lookup(key)
+		sp.Attr("hit", fmt.Sprint(hit)).End()
+		if hit {
 			if opt.Cache != nil {
 				opt.Cache.publish(key, st)
 			}
@@ -370,25 +397,28 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 		}
 	}
 	if opt.Cache == nil {
-		return executePersisted(ctx, i, j, opt, key, keyed)
+		return executePersisted(ctx, i, j, opt, key, keyed, trace)
 	}
 	e, leader := opt.Cache.acquire(key)
 	if !leader {
 		// Follower: wait for the leader's verdict. A failed leader releases
 		// us with ok=false and a vacated entry — run live rather than reuse
 		// (or re-elect on) an error.
+		sp := opt.Spans.Start(trace, "cache.wait")
 		select {
 		case <-e.done:
 		case <-ctx.Done():
+			sp.Attr("hit", "false").End()
 			return Result{Job: j, Err: fmt.Errorf("runner: %s: %w", j.Name(), ctx.Err())}
 		}
+		sp.Attr("hit", fmt.Sprint(e.ok)).End()
 		if e.ok {
 			opt.Cache.hit()
 			return Result{Job: j, Stats: e.stored.Stats, Sampling: e.stored.Sampling, Reused: ReusedCache}
 		}
-		return executePersisted(ctx, i, j, opt, key, keyed)
+		return executePersisted(ctx, i, j, opt, key, keyed, trace)
 	}
-	res := executePersisted(ctx, i, j, opt, key, keyed)
+	res := executePersisted(ctx, i, j, opt, key, keyed, trace)
 	if res.Err == nil {
 		opt.Cache.complete(e, Stored{Stats: res.Stats, Sampling: res.Sampling})
 	} else {
@@ -403,10 +433,12 @@ func executeShared(ctx context.Context, i int, j Job, opt Options) Result {
 // attached). A journal or store write failure fails the job: a checkpoint
 // the caller asked for but silently did not get would defeat resume, and a
 // store put that silently vanished would defeat cross-run reuse.
-func executePersisted(ctx context.Context, i int, j Job, opt Options, key string, keyed bool) Result {
+func executePersisted(ctx context.Context, i int, j Job, opt Options, key string, keyed bool, trace string) Result {
 	var res Result
 	if keyed && opt.Remote != nil {
+		sp := opt.Spans.Start(trace, "remote")
 		r, err := opt.Remote.ExecuteRemote(ctx, j, key)
+		sp.Attr("ok", fmt.Sprint(err == nil)).End()
 		if err != nil {
 			res = Result{Job: j, Err: fmt.Errorf("runner: %s: %w", j.Name(), err)}
 		} else {
@@ -414,17 +446,23 @@ func executePersisted(ctx context.Context, i int, j Job, opt Options, key string
 			res.Job = j
 		}
 	} else {
-		res = execute(ctx, i, j, opt)
+		res = execute(ctx, i, j, opt, trace)
 	}
 	if keyed && res.Err == nil {
 		if opt.Journal != nil {
-			if err := opt.Journal.Append(res); err != nil {
+			sp := opt.Spans.Start(trace, "persist.journal")
+			err := opt.Journal.Append(res)
+			sp.End()
+			if err != nil {
 				res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 				return res
 			}
 		}
 		if opt.Store != nil {
-			if err := opt.Store.Put(key, res); err != nil {
+			sp := opt.Spans.Start(trace, "persist.store")
+			err := opt.Store.Put(key, res)
+			sp.End()
+			if err != nil {
 				res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 			}
 		}
@@ -460,7 +498,7 @@ func buildThreads(j Job, opt Options) ([]sim.ThreadSpec, error) {
 
 // execute runs job i with panic isolation, the per-job timeout, and an
 // optional per-job telemetry probe flushed to its own JSONL file.
-func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
+func execute(ctx context.Context, i int, j Job, opt Options, trace string) (res Result) {
 	res.Job = j
 	if err := ctx.Err(); err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
@@ -471,6 +509,7 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
+	execSpan := opt.Spans.Start(trace, "execute")
 	start := time.Now()
 	startHeap := heapAlloc()
 	var probe *telemetry.Probe
@@ -498,8 +537,15 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 			}
 			res.TelemetryPath = path
 		}
+		execSpan.Attr("ok", fmt.Sprint(res.Err == nil))
+		if res.Sampling != nil {
+			execSpan.AttrInt("sampled_slices", int64(res.Sampling.Slices))
+		}
+		execSpan.End()
 	}()
+	buildSpan := opt.Spans.Start(trace, "build")
 	cfg, err := j.Machine.Build()
+	buildSpan.End()
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res
@@ -513,7 +559,7 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 		// would finish and reset a probe, so a per-job time series is
 		// undefined. The observer still receives JobFinished, exactly as it
 		// does for journal-reused jobs.
-		st, outcome, serr := executeSampled(ctx, &s, cfg, j, opt)
+		st, outcome, serr := executeSampled(ctx, &s, cfg, j, opt, trace)
 		if serr != nil {
 			res.Err = fmt.Errorf("runner: %s: %w", j.Name(), serr)
 			return res
@@ -538,7 +584,9 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 			opt.Observer.JobStarted(i, j, probe)
 		}
 	}
+	threadSpan := opt.Spans.Start(trace, "threads")
 	threads, err := buildThreads(j, opt)
+	threadSpan.End()
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res
@@ -550,7 +598,9 @@ func execute(ctx context.Context, i int, j Job, opt Options) (res Result) {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res
 	}
+	simSpan := opt.Spans.Start(trace, "simulate")
 	st, err := s.RunContext(ctx, j.Warmup, j.Measure)
+	simSpan.End()
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", j.Name(), err)
 		return res

@@ -19,7 +19,7 @@ import (
 // The built simulator is published through sp so the caller's deferred
 // accounting (SimInstructions via Executed, which fast-forwarded
 // instructions never enter) sees it even on a mid-run failure.
-func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j Job, opt Options) (sim.Stats, *sampling.Outcome, error) {
+func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j Job, opt Options, traceID string) (sim.Stats, *sampling.Outcome, error) {
 	if j.NewThreads != nil {
 		return sim.Stats{}, nil, fmt.Errorf("sampled execution requires workload-described threads (NewThreads is set)")
 	}
@@ -41,6 +41,7 @@ func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j J
 
 	var prof *sampling.Profile
 	var err error
+	profSpan := opt.Spans.Start(traceID, "sample.profile")
 	if opt.Profiles != nil {
 		prof, err = opt.Profiles.Profile(w.Hash(), j.Warmup, j.Measure, pol.Interval, newReader)
 	} else {
@@ -52,6 +53,7 @@ func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j J
 			}
 		}
 	}
+	profSpan.End()
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}
@@ -62,7 +64,9 @@ func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j J
 
 	// Fresh readers for the execution pass — the profiling pass consumed its
 	// own stream.
+	threadSpan := opt.Spans.Start(traceID, "threads")
 	threads, err := buildThreads(j, opt)
+	threadSpan.End()
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}
@@ -73,7 +77,14 @@ func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j J
 	}
 	*sp = s
 
-	st, outcome, err := sampling.Execute(ctx, s, j.Warmup, plan, pol)
+	var hook sampling.SpanHook
+	if opt.Spans != nil {
+		hook = func(phase string) func() {
+			a := opt.Spans.Start(traceID, "sample."+phase)
+			return a.End
+		}
+	}
+	st, outcome, err := sampling.ExecuteTraced(ctx, s, j.Warmup, plan, pol, hook)
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}

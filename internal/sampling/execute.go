@@ -31,6 +31,13 @@ type Outcome struct {
 	CI95 CI `json:"ci95"`
 }
 
+// SpanHook observes sampled-execution phases for distributed tracing: it is
+// called at the start of each phase — "fastforward", "settle", "slicewarmup",
+// "measure" — and returns a func ending that phase. A nil hook is ignored, so
+// the untraced path pays one nil check per phase and nothing else; the hook
+// must not perturb execution (asserted by the runner's trace-purity test).
+type SpanHook func(phase string) func()
+
 // Execute runs the sampled-execution mode over a freshly constructed
 // simulator: for each representative in the plan it fast-forwards with
 // functional TLB/page-table warmup, optionally simulates a timed slice
@@ -43,6 +50,11 @@ type Outcome struct {
 // The simulator must be fresh — its trace readers positioned at the stream
 // start — and is consumed by the call.
 func Execute(ctx context.Context, s *sim.Simulator, warmup uint64, plan *Plan, pol Policy) (sim.Stats, *Outcome, error) {
+	return ExecuteTraced(ctx, s, warmup, plan, pol, nil)
+}
+
+// ExecuteTraced is Execute with a per-phase tracing hook; see SpanHook.
+func ExecuteTraced(ctx context.Context, s *sim.Simulator, warmup uint64, plan *Plan, pol Policy, hook SpanHook) (sim.Stats, *Outcome, error) {
 	if len(plan.Reps) == 0 {
 		return sim.Stats{}, nil, fmt.Errorf("sampling: plan has no representatives")
 	}
@@ -65,7 +77,10 @@ func Execute(ctx context.Context, s *sim.Simulator, warmup uint64, plan *Plan, p
 			ffTarget = pos
 		}
 		if ffTarget > pos {
-			if err := s.FastForward(ctx, ffTarget-pos); err != nil {
+			end := phase(hook, "fastforward")
+			err := s.FastForward(ctx, ffTarget-pos)
+			end()
+			if err != nil {
 				return sim.Stats{}, nil, err
 			}
 		}
@@ -76,14 +91,23 @@ func Execute(ctx context.Context, s *sim.Simulator, warmup uint64, plan *Plan, p
 		// slice's epoch) and again at the warmup/measure boundary (the slice
 		// warmup's own epoch) by running warmup and measurement as separate
 		// clock epochs.
+		end := phase(hook, "settle")
 		s.SettleTiming()
+		end()
 		if start > ffTarget {
-			if _, err := s.RunContext(ctx, 0, start-ffTarget); err != nil {
+			end = phase(hook, "slicewarmup")
+			_, err := s.RunContext(ctx, 0, start-ffTarget)
+			end()
+			if err != nil {
 				return sim.Stats{}, nil, err
 			}
+			end = phase(hook, "settle")
 			s.SettleTiming()
+			end()
 		}
+		end = phase(hook, "measure")
 		st, err := s.RunContext(ctx, 0, plan.Interval)
+		end()
 		if err != nil {
 			return sim.Stats{}, nil, err
 		}
@@ -106,4 +130,13 @@ func Execute(ctx context.Context, s *sim.Simulator, warmup uint64, plan *Plan, p
 		CI95:              ci,
 	}
 	return est, out, nil
+}
+
+// phase invokes the hook for one phase, returning the closer; on a nil hook
+// both halves are no-ops.
+func phase(hook SpanHook, name string) func() {
+	if hook == nil {
+		return func() {}
+	}
+	return hook(name)
 }
