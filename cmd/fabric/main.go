@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"morrigan"
@@ -41,6 +42,8 @@ func main() {
 		serve(os.Args[2:])
 	case "work":
 		work(os.Args[2:])
+	case "gc":
+		gc(os.Args[2:])
 	default:
 		usage()
 	}
@@ -50,8 +53,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   fabric serve [flags]   run a coordinator driving an experiment campaign
   fabric work  [flags]   run a worker pulling jobs from a coordinator
+  fabric gc    [flags]   compact a result store (drop records older stats schemas wrote)
 
-run 'fabric serve -h' or 'fabric work -h' for flags`)
+run 'fabric serve -h', 'fabric work -h' or 'fabric gc -h' for flags`)
 	os.Exit(2)
 }
 
@@ -78,7 +82,7 @@ func serve(args []string) {
 	)
 	fs.Parse(args)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opt := morrigan.DefaultExperimentOptions()
@@ -166,6 +170,22 @@ func serve(args []string) {
 		start := time.Now()
 		tab, err := morrigan.RunExperiment(id, opt)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Interrupted, not failed: stop leasing, let outstanding
+				// worker leases resolve, flush everything collected so far,
+				// and exit clean so supervisors don't see a crash.
+				stop()
+				fmt.Fprintln(os.Stderr, "fabric: interrupted; draining outstanding leases")
+				dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if derr := coord.Drain(dctx); derr != nil {
+					fmt.Fprintf(os.Stderr, "fabric: %v\n", derr)
+				}
+				cancel()
+				emitJSON(rec, *jsonOut)
+				writeTrace(*traceOut, tracer)
+				fmt.Fprintln(os.Stderr, "fabric: drained; exiting")
+				return
+			}
 			emitJSON(rec, *jsonOut)
 			writeTrace(*traceOut, tracer)
 			fatal("%s: %v", id, err)
@@ -193,7 +213,7 @@ func work(args []string) {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	wopt := morrigan.FabricWorkerOptions{Coordinator: *coordinator, Name: *name}
@@ -226,6 +246,43 @@ func work(args []string) {
 	}
 	writeTrace(*traceOut, tracer)
 	fmt.Fprintf(os.Stderr, "fabric: %s exiting after %d jobs\n", wopt.Name, worker.JobsRun())
+}
+
+// gc compacts a result store: records whose stats were written by an older
+// (now unreadable) schema can never be reused and only cost disk and scan
+// time. -dry-run reports what would go without removing anything.
+func gc(args []string) {
+	fs := flag.NewFlagSet("fabric gc", flag.ExitOnError)
+	var (
+		results = fs.String("results", "", "result store directory to compact; required")
+		dryRun  = fs.Bool("dry-run", false, "report reclaimable records without removing them")
+	)
+	fs.Parse(args)
+	if *results == "" {
+		fmt.Fprintln(os.Stderr, "fabric gc: -results is required")
+		os.Exit(2)
+	}
+	rs, err := morrigan.OpenResultStore(*results)
+	if err != nil {
+		fatal("results: %v", err)
+	}
+	if *dryRun {
+		paths, err := rs.Reclaimable()
+		if err != nil {
+			fatal("gc: %v", err)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "fabric gc: %d of %d records reclaimable (dry run; nothing removed)\n",
+			len(paths), rs.Len()+len(paths))
+		return
+	}
+	removed, err := rs.Compact()
+	if err != nil {
+		fatal("gc: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric gc: removed %d stale records; %d reusable results remain\n", removed, rs.Len())
 }
 
 // writeTrace exports collected spans to path; a nil tracer is a no-op.

@@ -180,6 +180,12 @@ func pairJob(config string, a, b workloads.Spec, m machine.Spec) simJob {
 	return simJob{config: config, specs: []workloads.Spec{a, b}, machine: m}
 }
 
+// mixJob enumerates an N-way colocation simulation: every workload in the
+// mix runs as its own hardware thread with a distinct address-space offset.
+func mixJob(config string, mix []workloads.Spec, m machine.Spec) simJob {
+	return simJob{config: config, specs: mix, machine: m}
+}
+
 // baseline is the no-prefetching Table 1 configuration.
 func baseline() machine.Spec { return machine.Default() }
 
@@ -190,8 +196,8 @@ func (o Options) campaign(experiment string, jobs []simJob) ([]sim.Stats, error)
 	rjobs := make([]runner.Job, len(jobs))
 	for i, j := range jobs {
 		name := j.specs[0].Name
-		if len(j.specs) == 2 {
-			name += "+" + j.specs[1].Name
+		for _, s := range j.specs[1:] {
+			name += "+" + s.Name
 		}
 		rjobs[i] = runner.Job{
 			Experiment: experiment,
@@ -361,6 +367,7 @@ var Registry = map[string]func(Options) (*Table, error){
 	"contextswitch": ContextSwitch,
 	"hugepages":     HugePages,
 	"icacheselect":  ICacheSelection,
+	"colocation":    Colocation,
 }
 
 // Order lists the experiments in paper order.
@@ -368,5 +375,5 @@ var Order = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"fig9", "fig10", "fig13", "fig14", "sec613", "fig15", "fig16",
 	"fig17", "fig18", "fig19", "fig20", "ablations", "pagetables",
-	"contextswitch", "hugepages", "icacheselect",
+	"contextswitch", "hugepages", "icacheselect", "colocation",
 }

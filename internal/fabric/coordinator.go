@@ -111,15 +111,16 @@ type workerState struct {
 type Coordinator struct {
 	opt CoordinatorOptions
 
-	mu      sync.Mutex
-	entries map[string]*jobEntry
-	queue   []string // FIFO of keys awaiting lease (may hold stale copies)
-	leases  map[string]*lease
-	specs   map[string]workloads.Spec // workload hash -> spec, for corpus serving
-	workers map[string]*workerState   // worker name -> fleet state
-	wake    chan struct{}             // closed and replaced when the queue gains work
-	nextID  uint64
-	closed  bool
+	mu       sync.Mutex
+	entries  map[string]*jobEntry
+	queue    []string // FIFO of keys awaiting lease (may hold stale copies)
+	leases   map[string]*lease
+	specs    map[string]workloads.Spec // workload hash -> spec, for corpus serving
+	workers  map[string]*workerState   // worker name -> fleet state
+	wake     chan struct{}             // closed and replaced when the queue gains work
+	nextID   uint64
+	closed   bool
+	draining bool // stop granting leases; in-flight submissions still land
 
 	expirations  uint64 // leases reclaimed after missed heartbeats
 	duplicates   uint64 // submissions discarded first-write-wins
@@ -205,6 +206,35 @@ func (c *Coordinator) Close() error {
 	return err
 }
 
+// Drain gracefully quiesces the coordinator: it stops granting new leases
+// (workers' long-polls fall back to 204s) and waits — bounded by ctx — until
+// every outstanding lease resolves, either by its worker submitting the
+// result or by expiring and being reclaimed. In-flight submissions are
+// accepted throughout, so a SIGTERM'd coordinator never discards work a
+// worker already finished. Drain does not close the listener; follow with
+// Close once the caller has flushed its own state.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.wakeLocked() // unblock long-polls so they observe the drain promptly
+	c.mu.Unlock()
+	for {
+		now := time.Now()
+		c.mu.Lock()
+		c.reclaimLocked(now)
+		outstanding := len(c.leases)
+		c.mu.Unlock()
+		if outstanding == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: drain interrupted with %d leases outstanding: %w", outstanding, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
 // Coordinator implements runner.RemoteExecutor.
 var _ runner.RemoteExecutor = (*Coordinator)(nil)
 
@@ -283,6 +313,16 @@ func (c *Coordinator) reclaimLocked(now time.Time) {
 
 // popLocked removes and returns the next pending entry, skipping stale queue
 // copies of keys that are leased or done. Caller holds c.mu.
+// popIfServingLocked pops the next pending job unless the coordinator is
+// draining — a draining coordinator grants no new leases, so workers fall
+// back to 204 long-poll timeouts while outstanding leases resolve.
+func (c *Coordinator) popIfServingLocked() (*jobEntry, bool) {
+	if c.draining {
+		return nil, false
+	}
+	return c.popLocked()
+}
+
 func (c *Coordinator) popLocked() (*jobEntry, bool) {
 	for len(c.queue) > 0 {
 		key := c.queue[0]
@@ -313,7 +353,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		c.mu.Lock()
 		ws := c.touchWorkerLocked(req.Worker, now)
 		c.reclaimLocked(now)
-		if e, ok := c.popLocked(); ok {
+		if e, ok := c.popIfServingLocked(); ok {
 			c.nextID++
 			l := &lease{
 				id:        fmt.Sprintf("l%06d", c.nextID),

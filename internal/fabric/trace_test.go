@@ -97,12 +97,17 @@ func TestFabricTraceAssembly(t *testing.T) {
 			}
 		}
 		// The worker's execute span must land inside the coordinator's lease
-		// span — the whole point of the clock re-basing.
+		// span — the whole point of the clock re-basing. The offset estimate
+		// is an RTT midpoint, so one-way scheduling delay under load shifts
+		// rebased spans by single-digit milliseconds; allow that margin here
+		// (gross mis-assembly is off by whole epochs) and leave exactness to
+		// the injected-skew normalisation test.
 		if len(phases["lease"]) == 1 && len(phases["execute"]) == 1 {
 			l, e := phases["lease"][0], phases["execute"][0]
-			if e.StartNS < l.StartNS || e.End() > l.End() {
-				t.Errorf("job %.12s…: execute [%d,%d] escapes lease [%d,%d] after re-basing",
-					k, e.StartNS, e.End(), l.StartNS, l.End())
+			const slack = int64(25 * time.Millisecond)
+			if e.StartNS < l.StartNS-slack || e.End() > l.End()+slack {
+				t.Errorf("job %.12s…: execute [%d,%d] escapes lease [%d,%d] by more than %dns after re-basing",
+					k, e.StartNS, e.End(), l.StartNS, l.End(), slack)
 			}
 		}
 	}

@@ -336,15 +336,16 @@ func decodeRecord(raw []byte) (Record, error) {
 	return rec, nil
 }
 
-// Compact removes every file the store cannot verify — damaged records,
-// stale temp files from interrupted puts, and records whose keys no longer
-// derive from their components — and re-scans. It returns how many files it
-// removed.
-func (s *Store) Compact() (removed int, err error) {
+// sweep walks every shard collecting the files the store cannot verify —
+// damaged records, stale temp files from interrupted puts, and records whose
+// keys no longer derive from their components — removing them when remove is
+// set. Paths are returned store-relative.
+func (s *Store) sweep(remove bool) ([]string, error) {
 	shards, err := os.ReadDir(s.dir)
 	if err != nil {
-		return 0, fmt.Errorf("resultstore: %w", err)
+		return nil, fmt.Errorf("resultstore: %w", err)
 	}
+	var paths []string
 	for _, sh := range shards {
 		if !sh.IsDir() || len(sh.Name()) != 2 {
 			continue
@@ -352,7 +353,7 @@ func (s *Store) Compact() (removed int, err error) {
 		shard := filepath.Join(s.dir, sh.Name())
 		files, err := os.ReadDir(shard)
 		if err != nil {
-			return removed, fmt.Errorf("resultstore: %w", err)
+			return paths, fmt.Errorf("resultstore: %w", err)
 		}
 		for _, f := range files {
 			if f.IsDir() {
@@ -365,14 +366,34 @@ func (s *Store) Compact() (removed int, err error) {
 				ok = rerr == nil && rec.Key == strings.TrimSuffix(f.Name(), ".json") && strings.HasPrefix(rec.Key, sh.Name())
 			}
 			if !ok {
-				if rerr := os.Remove(path); rerr != nil {
-					return removed, fmt.Errorf("resultstore: %w", rerr)
+				if remove {
+					if rerr := os.Remove(path); rerr != nil {
+						return paths, fmt.Errorf("resultstore: %w", rerr)
+					}
 				}
-				removed++
+				paths = append(paths, filepath.Join(sh.Name(), f.Name()))
 			}
 		}
 	}
-	return removed, s.scan()
+	return paths, nil
+}
+
+// Reclaimable reports — without removing anything — the store-relative paths
+// of every file Compact would delete. The dry-run half of `fabric gc`.
+func (s *Store) Reclaimable() ([]string, error) {
+	return s.sweep(false)
+}
+
+// Compact removes every file the store cannot verify — damaged records,
+// stale temp files from interrupted puts, and records whose keys no longer
+// derive from their components — and re-scans. It returns how many files it
+// removed.
+func (s *Store) Compact() (removed int, err error) {
+	paths, err := s.sweep(true)
+	if err != nil {
+		return len(paths), err
+	}
+	return len(paths), s.scan()
 }
 
 // Store implements runner.ResultStore.

@@ -212,6 +212,65 @@ func TestStoreSkipsDamagedRecords(t *testing.T) {
 	}
 }
 
+// TestStoreReclaimable: the dry-run view of Compact reports exactly the
+// files Compact would remove — and removes nothing itself.
+func TestStoreReclaimable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for i := 0; i < 3; i++ {
+		key, res := testResult(t, i)
+		if err := s.Put(key, res); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			victim = filepath.Join(dir, key[:2], key+".json")
+		}
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"experiment":"test"`, `"experiment":"best"`, 1)
+	if err := os.WriteFile(victim, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(filepath.Dir(victim), ".put-stray")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := re.Reclaimable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 { // the tampered record and the stray temp file
+		t.Fatalf("Reclaimable reported %d files (%v), want 2", len(paths), paths)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Errorf("Reclaimable removed or misreported %s: %v", p, err)
+		}
+	}
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d after dry run, want 2 untouched", re.Len())
+	}
+	removed, err := re.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(paths) {
+		t.Errorf("Compact removed %d files, want the %d Reclaimable reported", removed, len(paths))
+	}
+}
+
 // TestStoreServesCampaign is the runner integration: a campaign backed by a
 // store simulates once; a second campaign over the same jobs (fresh process
 // simulated by reopening the store) reuses everything with Reused == "store"

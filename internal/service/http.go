@@ -1,0 +1,201 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"morrigan/internal/runner"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /api/v1/campaigns              submit a campaign (202 created, 200 duplicate)
+//	GET  /api/v1/campaigns              list the tenant's campaigns
+//	GET  /api/v1/campaigns/{id}         one campaign's status
+//	GET  /api/v1/campaigns/{id}/results merged results (JSON campaign; ?format=csv|stats)
+//	GET  /api/v1/usage                  the tenant's quota and usage accounting
+//
+// Every route requires "Authorization: Bearer <token>". Mount beside an
+// obs.Server handler to add /events (SSE progress), /metrics and /healthz
+// on the same listener.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/usage", s.handleUsage)
+	return mux
+}
+
+// httpError is the JSON error body every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// bearer extracts the request's bearer token ("" if absent).
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(h, prefix) {
+		return ""
+	}
+	return strings.TrimSpace(h[len(prefix):])
+}
+
+// authTenant resolves the request's tenant, writing 401 when it cannot.
+func (s *Service) authTenant(w http.ResponseWriter, r *http.Request) (*tenant, string, bool) {
+	token := bearer(r)
+	if token == "" {
+		writeError(w, http.StatusUnauthorized, "missing bearer token")
+		return nil, "", false
+	}
+	t, ok := s.tenantOf(token)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, "unknown token")
+		return nil, "", false
+	}
+	return t, token, true
+}
+
+// maxSubmissionBytes bounds a submission body; a machine-spec sweep is a few
+// KB — anything near this limit is malformed or hostile.
+const maxSubmissionBytes = 1 << 20
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	_, token, ok := s.authTenant(w, r)
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmissionBytes))
+	dec.DisallowUnknownFields()
+	var sub Submission
+	if err := dec.Decode(&sub); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding submission: %v", err)
+		return
+	}
+	st, created, err := s.Submit(token, sub)
+	if err != nil {
+		code := http.StatusInternalServerError
+		var adm *AdmissionError
+		if errors.As(err, &adm) {
+			code = adm.Code
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	t, _, ok := s.authTenant(w, r)
+	if !ok {
+		return
+	}
+	sts := s.list(t)
+	if sts == nil {
+		sts = []Status{}
+	}
+	writeJSON(w, http.StatusOK, sts)
+}
+
+// campaignFor resolves {id} to a campaign owned by the request's tenant;
+// campaigns of other tenants answer 404, indistinguishable from absent ids.
+func (s *Service) campaignFor(w http.ResponseWriter, r *http.Request) (*campaignState, bool) {
+	t, _, ok := s.authTenant(w, r)
+	if !ok {
+		return nil, false
+	}
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c, found := s.campaigns[id]
+	s.mu.Unlock()
+	if !found || c.tenant != t {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(c)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statsRecord is the deterministic projection of one result the ?format=stats
+// view emits: exactly the fields that are bit-identical across reruns and
+// between HTTP and CLI execution of the same jobs.
+type statsRecord struct {
+	Workload string `json:"workload"`
+	Warmup   uint64 `json:"warmup"`
+	Measure  uint64 `json:"measure"`
+	Stats    any    `json:"stats"`
+}
+
+func (s *Service) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	results, done := s.Results(c.id)
+	if !done {
+		writeError(w, http.StatusConflict, "campaign %s is %s; results are available once done", c.id, c.state)
+		return
+	}
+	camp := runner.Campaign{}
+	for _, res := range results {
+		camp.Records = append(camp.Records, runner.NewRecord(res))
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = camp.WriteJSON(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = camp.WriteCSV(w)
+	case "stats":
+		recs := make([]statsRecord, 0, len(camp.Records))
+		for _, rec := range camp.Records {
+			recs = append(recs, statsRecord{
+				Workload: rec.Workload, Warmup: rec.Warmup, Measure: rec.Measure, Stats: rec.Stats,
+			})
+		}
+		writeJSON(w, http.StatusOK, recs)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (json, csv or stats)", format)
+	}
+}
+
+func (s *Service) handleUsage(w http.ResponseWriter, r *http.Request) {
+	_, token, ok := s.authTenant(w, r)
+	if !ok {
+		return
+	}
+	u, _ := s.TenantUsage(token)
+	writeJSON(w, http.StatusOK, u)
+}

@@ -67,7 +67,12 @@ func (th *thread) next(rec *trace.Record) error {
 	return nil
 }
 
-// Simulator is one simulated machine executing one or two threads.
+// MaxThreads is the most hardware threads one simulated machine can run.
+// The bound keeps per-thread statistics in fixed-size (comparable) arrays;
+// colocation experiments use up to 16-way shared-STLB mixes.
+const MaxThreads = 16
+
+// Simulator is one simulated machine executing 1..MaxThreads threads.
 type Simulator struct {
 	cfg Config
 
@@ -141,16 +146,23 @@ type counters struct {
 	icacheXPrefetch uint64
 
 	correctingWalks uint64
+
+	// Per-thread tallies for colocation fairness analysis: retired
+	// instructions, iSTLB misses, and PB hits by hardware thread. Fixed-size
+	// arrays so Stats (and everything embedding it) stays comparable.
+	threadInstr       [MaxThreads]uint64
+	threadISTLBMisses [MaxThreads]uint64
+	threadPBHits      [MaxThreads]uint64
 }
 
 // New builds a simulator over the given threads (1 for single-threaded runs,
-// 2 for the SMT colocation experiments).
+// more for the SMT/colocation experiments, up to MaxThreads).
 func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(threads) < 1 || len(threads) > 2 {
-		return nil, fmt.Errorf("sim: %d threads; supported: 1 or 2", len(threads))
+	if len(threads) < 1 || len(threads) > MaxThreads {
+		return nil, fmt.Errorf("sim: %d threads; supported: 1..%d", len(threads), MaxThreads)
 	}
 	var pt pagetable.Translator
 	switch cfg.PageTable {
@@ -331,6 +343,7 @@ func (s *Simulator) step(tid arch.ThreadID, th *thread, rec *trace.Record) {
 		th.curLine = line
 	}
 	s.core.Retire(1)
+	s.c.threadInstr[tid]++
 	if rec.Load != 0 {
 		s.data(tid, rec.Load+th.off, false)
 	}
@@ -393,6 +406,7 @@ func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VP
 
 	// iSTLB miss.
 	s.c.istlbMisses++
+	s.c.threadISTLBMisses[tid]++
 	if s.cfg.OnISTLBMiss != nil {
 		s.cfg.OnISTLBMiss(tid, vpn)
 	}
@@ -406,6 +420,7 @@ func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VP
 			pbHit = true
 			pfn = hit
 			s.c.pbHits++
+			s.c.threadPBHits[tid]++
 			if s.probe != nil {
 				now := s.now()
 				s.probe.PrefetchUsed(tid, vpn, now, ready > now)

@@ -349,8 +349,63 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(DefaultConfig(), []ThreadSpec{{Reader: nil}}); err == nil {
 		t.Error("nil reader accepted")
 	}
-	if _, err := New(DefaultConfig(), make([]ThreadSpec, 3)); err == nil {
-		t.Error("three threads accepted")
+	over := make([]ThreadSpec, MaxThreads+1)
+	for i := range over {
+		over[i] = ThreadSpec{Reader: testWorkload()}
+	}
+	if _, err := New(DefaultConfig(), over); err == nil {
+		t.Errorf("%d threads accepted, want cap at %d", len(over), MaxThreads)
+	}
+}
+
+// TestNWayColocationPerThreadStats: a 4-way colocated run retires the asked
+// instruction count, attributes work to every thread, and the per-thread
+// arrays sum exactly to the machine-wide counters they decompose.
+func TestNWayColocationPerThreadStats(t *testing.T) {
+	qmm := workloads.QMM()
+	const ways = 4
+	threads := make([]ThreadSpec, ways)
+	for i := range threads {
+		threads[i] = ThreadSpec{
+			Reader:   qmm[i].NewReader(),
+			VAOffset: arch.VAddr(i) * (1 << 40),
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Prefetcher = core.New(core.DefaultConfig())
+	s := mustNew(t, cfg, threads)
+	st, err := s.Run(20_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 200_000 {
+		t.Fatalf("Instructions = %d", st.Instructions)
+	}
+	var instr, misses, pbHits uint64
+	for i := 0; i < ways; i++ {
+		if st.ThreadInstructions[i] == 0 {
+			t.Errorf("thread %d retired nothing", i)
+		}
+		instr += st.ThreadInstructions[i]
+		misses += st.ThreadISTLBMisses[i]
+		pbHits += st.ThreadPBHits[i]
+	}
+	for i := ways; i < MaxThreads; i++ {
+		if st.ThreadInstructions[i]+st.ThreadISTLBMisses[i]+st.ThreadPBHits[i] != 0 {
+			t.Errorf("unpopulated thread %d has nonzero stats", i)
+		}
+	}
+	if instr != st.Instructions {
+		t.Errorf("per-thread instructions sum %d != total %d", instr, st.Instructions)
+	}
+	if misses != st.ISTLBMisses {
+		t.Errorf("per-thread iSTLB misses sum %d != total %d", misses, st.ISTLBMisses)
+	}
+	if pbHits != st.PBHits {
+		t.Errorf("per-thread PB hits sum %d != total %d", pbHits, st.PBHits)
+	}
+	if st.PBHits == 0 {
+		t.Error("no PB hits under Morrigan at 4-way pressure")
 	}
 }
 

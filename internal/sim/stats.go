@@ -83,6 +83,13 @@ type Stats struct {
 	// CorrectingWalks counts accessed-bit corrections for unused
 	// prefetches (Section 4.3; requires Config.CorrectingWalks).
 	CorrectingWalks uint64
+
+	// Per-thread colocation accounting (index = hardware thread id;
+	// single-threaded runs populate index 0 only). Fixed-size arrays keep
+	// Stats comparable for the result store and fabric equality checks.
+	ThreadInstructions [MaxThreads]uint64
+	ThreadISTLBMisses  [MaxThreads]uint64
+	ThreadPBHits       [MaxThreads]uint64
 }
 
 // Snapshot assembles the current statistics.
@@ -133,6 +140,10 @@ func (s *Simulator) Snapshot() Stats {
 
 		ContextSwitches: s.c.contextSwitches,
 		CorrectingWalks: s.c.correctingWalks,
+
+		ThreadInstructions: s.c.threadInstr,
+		ThreadISTLBMisses:  s.c.threadISTLBMisses,
+		ThreadPBHits:       s.c.threadPBHits,
 	}
 	if s.c.demandIWalks > 0 {
 		st.AvgIWalkLatency = float64(s.c.iWalkLatSum) / float64(s.c.demandIWalks)

@@ -191,6 +191,29 @@ func SMTPairs(n int, seed int64) [][2]Spec {
 	return pairs
 }
 
+// Mixes draws n deterministic colocation mixes of `way` distinct QMM
+// workloads each, generalising SMTPairs to the N-way shared-STLB studies.
+// The same (n, way, seed) always yields the same mixes.
+func Mixes(n, way int, seed int64) [][]Spec {
+	qmm := QMM()
+	rng := rand.New(rand.NewSource(seed))
+	mixes := make([][]Spec, 0, n)
+	for len(mixes) < n {
+		picked := make(map[int]bool, way)
+		mix := make([]Spec, 0, way)
+		for len(mix) < way {
+			i := rng.Intn(len(qmm))
+			if picked[i] {
+				continue
+			}
+			picked[i] = true
+			mix = append(mix, qmm[i])
+		}
+		mixes = append(mixes, mix)
+	}
+	return mixes
+}
+
 // ByName returns the workload with the given name from any built-in suite.
 func ByName(name string) (Spec, bool) {
 	for _, suite := range [][]Spec{QMM(), SPEC(), Java()} {

@@ -116,6 +116,52 @@ func TestSMTPairs(t *testing.T) {
 	}
 }
 
+func TestMixes(t *testing.T) {
+	for _, way := range []int{4, 8, 16} {
+		mixes := Mixes(5, way, 7)
+		if len(mixes) != 5 {
+			t.Fatalf("%d-way: mixes = %d, want 5", way, len(mixes))
+		}
+		for i, mix := range mixes {
+			if len(mix) != way {
+				t.Fatalf("%d-way mix %d has %d workloads", way, i, len(mix))
+			}
+			seen := make(map[string]bool, way)
+			for _, w := range mix {
+				if seen[w.Name] {
+					t.Errorf("%d-way mix %d colocates %s with itself", way, i, w.Name)
+				}
+				seen[w.Name] = true
+				if _, ok := ByName(w.Name); !ok {
+					t.Errorf("%d-way mix %d drew unknown workload %s", way, i, w.Name)
+				}
+			}
+		}
+		// Deterministic for a fixed seed.
+		again := Mixes(5, way, 7)
+		for i := range mixes {
+			for j := range mixes[i] {
+				if mixes[i][j].Name != again[i][j].Name {
+					t.Fatalf("%d-way Mixes not deterministic", way)
+				}
+			}
+		}
+	}
+	// Different seed, different draw.
+	a, b := Mixes(5, 4, 7), Mixes(5, 4, 8)
+	diff := false
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Name != b[i][j].Name {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical mix lists")
+	}
+}
+
 func TestQMMFootprintsSpanRange(t *testing.T) {
 	qmm := QMM()
 	small := qmm[0].Params.CodePages
