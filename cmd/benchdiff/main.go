@@ -35,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"flag a workload whose IPC dropped by more than this percent (0 disables)")
 	elapsedThreshold := fs.Float64("elapsed-threshold", 0,
 		"flag a workload whose wall time grew by more than this percent (0 disables; wall time is noisy)")
+	minThroughput := fs.Float64("min-throughput-ratio", 0,
+		"flag a workload whose simulation throughput (instr/sec) fell below this multiple of the old file's (0 disables; >1 demands a speedup)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep := benchdiff.Compare(oldC, newC, benchdiff.Options{
 		IPCThresholdPct:     *threshold,
 		ElapsedThresholdPct: *elapsedThreshold,
+		MinThroughputRatio:  *minThroughput,
 	})
 	if err := rep.Write(stdout); err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"morrigan"
+	"morrigan/internal/profile"
 )
 
 func main() {
@@ -61,6 +62,8 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file when the sweep completes")
 	)
 	flag.Parse()
 
@@ -70,6 +73,16 @@ func main() {
 		}
 		return
 	}
+
+	stopProf, profErr := profile.Start(*cpuProf, *memProf)
+	if profErr != nil {
+		fatal("%v", profErr)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

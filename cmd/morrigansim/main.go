@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"morrigan"
+	"morrigan/internal/profile"
 )
 
 func main() {
@@ -81,8 +82,22 @@ func main() {
 		dryRun    = flag.Bool("dry-run", false, "print enumerated jobs (key, machine and workload hashes, scale) without simulating")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with ETA")
 		list      = flag.Bool("list", false, "list built-in workloads and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
+		refLoop   = flag.Bool("reference-loop", false, "run the per-record reference loop instead of the batched pipeline (verification; Stats are bit-identical, only throughput differs)")
 	)
 	flag.Parse()
+
+	stopProf, profErr := profile.Start(*cpuProf, *memProf)
+	if profErr != nil {
+		fatal("%v", profErr)
+	}
+	flushProfiles := func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "morrigansim:", err)
+		}
+	}
+	defer flushProfiles()
 
 	if *list {
 		var names []string
@@ -166,6 +181,14 @@ func main() {
 	}
 
 	cjobs := buildJobs(*workload, *traceFile, *smt, spec, *warmup, *measure)
+	if *refLoop {
+		// Instrumented jobs opt out of keyed reuse (journal/store/cache), so
+		// a reference-loop run always simulates — exactly what the CI
+		// equivalence gate wants.
+		for i := range cjobs {
+			cjobs[i].Instrument = func(cfg *morrigan.Config) { cfg.ReferenceLoop = true }
+		}
+	}
 	var pol *morrigan.SamplingPolicy
 	if *sample {
 		p := morrigan.DefaultSamplingPolicy()
@@ -327,6 +350,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "morrigansim: wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
 	}
 	if err != nil {
+		flushProfiles()
 		os.Exit(1)
 	}
 }

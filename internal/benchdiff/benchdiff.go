@@ -36,8 +36,12 @@ type Row struct {
 	// OldInstrPerSec and NewInstrPerSec are simulation throughputs (zero in
 	// files written before throughput accounting existed).
 	OldInstrPerSec, NewInstrPerSec float64
-	// IPCRegressed and ElapsedRegressed mark threshold violations.
-	IPCRegressed, ElapsedRegressed bool
+	// ThroughputRatio is NewInstrPerSec/OldInstrPerSec (zero when either
+	// file predates throughput accounting).
+	ThroughputRatio float64
+	// IPCRegressed, ElapsedRegressed and ThroughputRegressed mark threshold
+	// violations.
+	IPCRegressed, ElapsedRegressed, ThroughputRegressed bool
 }
 
 // Report is the full comparison.
@@ -51,8 +55,12 @@ type Report struct {
 	SkippedErrors []string
 	// GeoMeanSpeedup is the geometric-mean IPC speedup across Rows.
 	GeoMeanSpeedup float64
-	// IPCThresholdPct and ElapsedThresholdPct echo the comparison options.
-	IPCThresholdPct, ElapsedThresholdPct float64
+	// GeoMeanThroughput is the geometric-mean simulation-throughput ratio
+	// across rows where both files recorded instr/sec (zero when none did).
+	GeoMeanThroughput float64
+	// IPCThresholdPct, ElapsedThresholdPct and MinThroughputRatio echo the
+	// comparison options.
+	IPCThresholdPct, ElapsedThresholdPct, MinThroughputRatio float64
 }
 
 // Options configures a comparison.
@@ -64,6 +72,12 @@ type Options struct {
 	// more than this percentage. Zero disables elapsed gating — wall time is
 	// machine-noise sensitive, so this gate is opt-in.
 	ElapsedThresholdPct float64
+	// MinThroughputRatio flags a workload whose simulation throughput
+	// (instr/sec) fell below this multiple of the old file's. 1.0 demands
+	// no slowdown; values above 1 demand a speedup (the batched-pipeline CI
+	// gate uses 3). Zero disables the gate. Rows where either file predates
+	// throughput accounting are never flagged.
+	MinThroughputRatio float64
 }
 
 // Load decodes a campaign results JSON file, rejecting unknown schemas.
@@ -102,7 +116,11 @@ func index(c runner.Campaign) (map[string]runner.Record, []string) {
 // Compare matches the two campaigns' records by identity and derives the
 // per-workload deltas and regression verdicts.
 func Compare(oldC, newC runner.Campaign, opt Options) Report {
-	rep := Report{IPCThresholdPct: opt.IPCThresholdPct, ElapsedThresholdPct: opt.ElapsedThresholdPct}
+	rep := Report{
+		IPCThresholdPct:     opt.IPCThresholdPct,
+		ElapsedThresholdPct: opt.ElapsedThresholdPct,
+		MinThroughputRatio:  opt.MinThroughputRatio,
+	}
 	oldIdx, oldKeys := index(oldC)
 	newIdx, newKeys := index(newC)
 
@@ -112,6 +130,7 @@ func Compare(oldC, newC runner.Campaign, opt Options) Report {
 		}
 	}
 	logSum, logN := 0.0, 0
+	tpSum, tpN := 0.0, 0
 	for _, k := range oldKeys {
 		o := oldIdx[k]
 		n, ok := newIdx[k]
@@ -141,6 +160,14 @@ func Compare(oldC, newC runner.Campaign, opt Options) Report {
 		if row.OldElapsedMS > 0 {
 			row.ElapsedDeltaPct = (row.NewElapsedMS/row.OldElapsedMS - 1) * 100
 		}
+		if row.OldInstrPerSec > 0 && row.NewInstrPerSec > 0 {
+			row.ThroughputRatio = row.NewInstrPerSec / row.OldInstrPerSec
+			tpSum += math.Log(row.ThroughputRatio)
+			tpN++
+			if opt.MinThroughputRatio > 0 && row.ThroughputRatio < opt.MinThroughputRatio {
+				row.ThroughputRegressed = true
+			}
+		}
 		if opt.IPCThresholdPct > 0 && row.IPCDeltaPct < -opt.IPCThresholdPct {
 			row.IPCRegressed = true
 		}
@@ -156,6 +183,9 @@ func Compare(oldC, newC runner.Campaign, opt Options) Report {
 	if logN > 0 {
 		rep.GeoMeanSpeedup = math.Exp(logSum / float64(logN))
 	}
+	if tpN > 0 {
+		rep.GeoMeanThroughput = math.Exp(tpSum / float64(tpN))
+	}
 	return rep
 }
 
@@ -163,7 +193,7 @@ func Compare(oldC, newC runner.Campaign, opt Options) Report {
 func (r Report) Regressions() []Row {
 	var out []Row
 	for _, row := range r.Rows {
-		if row.IPCRegressed || row.ElapsedRegressed {
+		if row.IPCRegressed || row.ElapsedRegressed || row.ThroughputRegressed {
 			out = append(out, row)
 		}
 	}
@@ -180,7 +210,7 @@ func (r Report) Write(w io.Writer) error {
 		fmt.Fprintln(w, "benchdiff: no comparable workloads")
 	}
 	rows := make([][]string, 0, len(r.Rows)+1)
-	rows = append(rows, []string{"workload", "ipc old", "ipc new", "delta", "speedup", "elapsed old", "elapsed new", "delta", "verdict"})
+	rows = append(rows, []string{"workload", "ipc old", "ipc new", "delta", "speedup", "elapsed old", "elapsed new", "delta", "thpt", "verdict"})
 	for _, row := range r.Rows {
 		verdict := "ok"
 		if row.IPCRegressed {
@@ -193,6 +223,17 @@ func (r Report) Write(w io.Writer) error {
 				verdict = "ELAPSED REGRESSED"
 			}
 		}
+		if row.ThroughputRegressed {
+			if verdict != "ok" {
+				verdict += "+THROUGHPUT"
+			} else {
+				verdict = "THROUGHPUT REGRESSED"
+			}
+		}
+		thpt := "n/a"
+		if row.ThroughputRatio > 0 {
+			thpt = fmt.Sprintf("%.2fx", row.ThroughputRatio)
+		}
 		rows = append(rows, []string{
 			row.Key,
 			fmt.Sprintf("%.3f", row.OldIPC),
@@ -202,6 +243,7 @@ func (r Report) Write(w io.Writer) error {
 			fmt.Sprintf("%.0fms", row.OldElapsedMS),
 			fmt.Sprintf("%.0fms", row.NewElapsedMS),
 			fmt.Sprintf("%+.1f%%", row.ElapsedDeltaPct),
+			thpt,
 			verdict,
 		})
 	}
@@ -224,6 +266,9 @@ func (r Report) Write(w io.Writer) error {
 	}
 	if len(r.Rows) > 0 {
 		fmt.Fprintf(w, "\ngeomean speedup %.4f over %d workloads\n", r.GeoMeanSpeedup, len(r.Rows))
+	}
+	if r.GeoMeanThroughput > 0 {
+		fmt.Fprintf(w, "geomean sim throughput %.2fx\n", r.GeoMeanThroughput)
 	}
 	for _, k := range r.OnlyOld {
 		fmt.Fprintf(w, "note: %s only in old file\n", k)

@@ -141,3 +141,43 @@ func TestReportWrite(t *testing.T) {
 		}
 	}
 }
+
+// TestThroughputGate covers the simulation-throughput floor: a ratio below
+// MinThroughputRatio flags the row, files without throughput accounting are
+// never flagged, and the geomean ratio is reported.
+func TestThroughputGate(t *testing.T) {
+	old := campaign(map[string]float64{"a": 1.0, "b": 1.0})
+	neu := campaign(map[string]float64{"a": 1.0, "b": 1.0})
+	neu.Records[0].InstrPerSec = 40_000_000 // 4x
+	neu.Records[1].InstrPerSec = 20_000_000 // 2x
+
+	if rep := Compare(old, neu, Options{}); rep.Regressed() {
+		t.Errorf("disabled throughput gate flagged: %+v", rep.Regressions())
+	}
+	rep := Compare(old, neu, Options{MinThroughputRatio: 3})
+	regs := rep.Regressions()
+	if len(regs) != 1 || !regs[0].ThroughputRegressed {
+		t.Fatalf("2x row with 3x floor: regressions = %+v", regs)
+	}
+	if g := rep.GeoMeanThroughput; g < 2.82 || g > 2.84 {
+		t.Errorf("geomean of 4x and 2x = %g, want ~2.83", g)
+	}
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"THROUGHPUT REGRESSED", "2.00x", "geomean sim throughput 2.83x"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Pre-throughput files (instr/sec zero) must pass any floor.
+	legacy := campaign(map[string]float64{"a": 1.0})
+	for i := range legacy.Records {
+		legacy.Records[i].InstrPerSec = 0
+	}
+	if rep := Compare(legacy, neu, Options{MinThroughputRatio: 3}); rep.Regressed() {
+		t.Errorf("legacy file flagged by throughput floor: %+v", rep.Regressions())
+	}
+}

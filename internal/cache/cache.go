@@ -13,20 +13,22 @@ package cache
 
 // Cache is one set-associative cache with LRU replacement, addressed by
 // physical line number.
+//
+// Storage is struct-of-arrays: a set's keys pack into one or two cache
+// lines, so the tag scan on the hot fetch/data path touches the used
+// timestamps only on a hit or an eviction decision. A key is the line
+// address plus one, with zero marking an invalid way — line addresses are
+// physical-address bits above LineShift, so the +1 cannot wrap.
 type Cache struct {
 	name     string
 	sets     int
 	ways     int
-	lines    []line // sets*ways, row-major by set
+	mask     uint64   // sets-1; sets is always a power of two
+	keys     []uint64 // sets*ways, row-major by set; lineAddr+1, 0 = invalid
+	used     []uint64 // LRU timestamps, parallel to keys
 	tick     uint64
 	accesses uint64
 	misses   uint64
-}
-
-type line struct {
-	tag   uint64
-	used  uint64
-	valid bool
 }
 
 // NewCache constructs a cache of the given geometry. Sets must be a power of
@@ -36,29 +38,33 @@ func NewCache(name string, sets, ways int) *Cache {
 		panic("cache: geometry must be positive with power-of-two sets")
 	}
 	return &Cache{
-		name:  name,
-		sets:  sets,
-		ways:  ways,
-		lines: make([]line, sets*ways),
+		name: name,
+		sets: sets,
+		ways: ways,
+		mask: uint64(sets - 1),
+		keys: make([]uint64, sets*ways),
+		used: make([]uint64, sets*ways),
 	}
 }
 
 // Entries returns the cache's capacity in lines.
 func (c *Cache) Entries() int { return c.sets * c.ways }
 
-func (c *Cache) set(lineAddr uint64) []line {
-	s := int(lineAddr) & (c.sets - 1)
-	return c.lines[s*c.ways : (s+1)*c.ways]
+// base returns the index of the first way of the line's set.
+func (c *Cache) base(lineAddr uint64) uint64 {
+	return (lineAddr & c.mask) * uint64(c.ways)
 }
 
 // Lookup probes for the line, promoting it on hit, and reports the result.
 func (c *Cache) Lookup(lineAddr uint64) bool {
 	c.tick++
 	c.accesses++
-	set := c.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].used = c.tick
+	base := c.base(lineAddr)
+	keys := c.keys[base : base+uint64(c.ways)]
+	k := lineAddr + 1
+	for i := range keys {
+		if keys[i] == k {
+			c.used[base+uint64(i)] = c.tick
 			return true
 		}
 	}
@@ -68,8 +74,11 @@ func (c *Cache) Lookup(lineAddr uint64) bool {
 
 // Contains probes without updating replacement or statistics.
 func (c *Cache) Contains(lineAddr uint64) bool {
-	for _, l := range c.set(lineAddr) {
-		if l.valid && l.tag == lineAddr {
+	base := c.base(lineAddr)
+	keys := c.keys[base : base+uint64(c.ways)]
+	k := lineAddr + 1
+	for i := range keys {
+		if keys[i] == k {
 			return true
 		}
 	}
@@ -78,26 +87,35 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 
 // Insert fills the line, evicting the LRU victim if the set is full. It
 // returns the evicted line address and whether an eviction happened.
+//
+// The single pass mirrors Lookup's scan order: a matching way refreshes in
+// place, the first invalid way fills immediately (valid ways always form a
+// prefix of the set, so no later way can match), and otherwise the
+// lowest-timestamp way — earliest index on ties — is the victim.
 func (c *Cache) Insert(lineAddr uint64) (evicted uint64, wasEviction bool) {
 	c.tick++
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
+	keys := c.keys[base : base+uint64(c.ways)]
+	used := c.used[base : base+uint64(c.ways) : base+uint64(c.ways)]
+	k := lineAddr + 1
 	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].used = c.tick // already present; refresh
+	for i := range keys {
+		if keys[i] == k {
+			used[i] = c.tick // already present; refresh
 			return 0, false
 		}
-		if !set[i].valid {
-			victim = i
-			set[victim] = line{tag: lineAddr, used: c.tick, valid: true}
+		if keys[i] == 0 {
+			keys[i] = k
+			used[i] = c.tick
 			return 0, false
 		}
-		if set[i].used < set[victim].used {
+		if used[i] < used[victim] {
 			victim = i
 		}
 	}
-	old := set[victim].tag
-	set[victim] = line{tag: lineAddr, used: c.tick, valid: true}
+	old := keys[victim] - 1
+	keys[victim] = k
+	used[victim] = c.tick
 	return old, true
 }
 

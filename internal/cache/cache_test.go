@@ -233,8 +233,8 @@ func TestStridePrefetcherCapacityReset(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		p.observe(arch.PAddr(i) << arch.PageShift << 4) // distinct pages
 	}
-	if len(p.entries) > 4 {
-		t.Fatalf("entries = %d, cap 4", len(p.entries))
+	if p.n > 4 {
+		t.Fatalf("live entries = %d, cap 4", p.n)
 	}
 }
 

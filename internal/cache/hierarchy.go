@@ -236,8 +236,16 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // stridePrefetcher is a minimal per-page stride prefetcher standing in for
 // the paper's SPP at L2: it tracks the last offset and delta per data page
 // and prefetches the next line when a stride repeats.
+//
+// The table is open-addressed with linear probing instead of a Go map — it
+// sits on the data-access hot path, and its only delete is the wholesale
+// reset at capacity, so no tombstone or backward-shift machinery is needed.
+// Keys are the page number plus one; zero marks an empty slot.
 type stridePrefetcher struct {
-	entries map[arch.VPN]*strideEntry
+	keys    []uint64 // page+1, 0 = empty; len is a power of two
+	entries []strideEntry
+	mask    uint64
+	n       int // live entries
 	cap     int
 }
 
@@ -248,24 +256,50 @@ type strideEntry struct {
 }
 
 func newStridePrefetcher(capacity int) *stridePrefetcher {
-	return &stridePrefetcher{entries: make(map[arch.VPN]*strideEntry), cap: capacity}
+	slots := 1
+	for slots < 2*capacity {
+		slots <<= 1
+	}
+	return &stridePrefetcher{
+		keys:    make([]uint64, slots),
+		entries: make([]strideEntry, slots),
+		mask:    uint64(slots - 1),
+		cap:     capacity,
+	}
+}
+
+// slot returns the index holding page, or the first empty slot of its probe
+// sequence if the page is untracked.
+func (p *stridePrefetcher) slot(page uint64) uint64 {
+	h := page * 0x9E3779B97F4A7C15
+	i := (h ^ h>>32) & p.mask
+	k := page + 1
+	for p.keys[i] != 0 && p.keys[i] != k {
+		i = (i + 1) & p.mask
+	}
+	return i
 }
 
 // observe records a demand access and returns a prefetch address when the
 // stride is confident.
 func (p *stridePrefetcher) observe(addr arch.PAddr) (arch.PAddr, bool) {
-	page := arch.VPN(addr.Page()) // physical page used as the tracking key
+	page := uint64(addr.Page()) // physical page used as the tracking key
 	lineInPage := int64(addr.Line())
-	e := p.entries[page]
-	if e == nil {
-		if len(p.entries) >= p.cap {
+	i := p.slot(page)
+	if p.keys[i] == 0 {
+		if p.n >= p.cap {
 			// Cheap wholesale reset; a real SPP ages entries, but the
 			// steady-state behaviour (recent pages tracked) is similar.
-			p.entries = make(map[arch.VPN]*strideEntry, p.cap)
+			clear(p.keys)
+			p.n = 0
+			i = p.slot(page)
 		}
-		p.entries[page] = &strideEntry{lastLine: lineInPage}
+		p.keys[i] = page + 1
+		p.entries[i] = strideEntry{lastLine: lineInPage}
+		p.n++
 		return 0, false
 	}
+	e := &p.entries[i]
 	d := lineInPage - e.lastLine
 	if d == e.delta && d != 0 {
 		if e.conf < 3 {

@@ -112,14 +112,10 @@ func FullyAssociative(c Config) Config {
 	return c
 }
 
-// token is the provenance attached to Morrigan's prefetch requests. On a PB
-// hit it routes the confidence update to the producing prediction slot
-// (step 6 of Figure 12); SDP requests carry sdp=true for attribution only.
-type token struct {
-	sdp  bool
-	vpn  arch.VPN // page whose entry produced the prediction
-	dist int32
-}
+// Morrigan attaches packed tlbprefetch.Tokens to its prefetch requests: on a
+// PB hit the token routes the confidence update to the producing prediction
+// slot via its (vpn, dist) fields (step 6 of Figure 12); SDP requests carry
+// TokenSDP for attribution only.
 
 // Morrigan is the composite instruction TLB prefetcher. It implements
 // tlbprefetch.Prefetcher.
@@ -142,6 +138,10 @@ type Morrigan struct {
 	iripHits   uint64
 	sdpHits    uint64
 	transfers  uint64
+
+	// out is the reusable OnMiss result buffer (valid until the next
+	// OnMiss call, per the Prefetcher contract).
+	out []tlbprefetch.Request
 }
 
 var _ tlbprefetch.Prefetcher = (*Morrigan)(nil)
@@ -221,7 +221,7 @@ func (m *Morrigan) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbp
 	// Steps 8-9: look up the ensemble and generate one prefetch per valid
 	// prediction slot; the highest-confidence slot gets spatial
 	// prefetching (steps 3-5 of Figure 11).
-	var reqs []tlbprefetch.Request
+	reqs := m.out[:0]
 	ti, e := m.findEntry(vpn)
 	if e != nil {
 		best := -1
@@ -236,7 +236,7 @@ func (m *Morrigan) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbp
 			reqs = append(reqs, tlbprefetch.Request{
 				VPN:     arch.VPN(target),
 				Spatial: m.cfg.Spatial && i == best,
-				Token:   token{vpn: vpn, dist: e.dists[i]},
+				Token:   tlbprefetch.PackToken(tlbprefetch.TokenIRIP, vpn, e.dists[i]),
 			})
 		}
 		m.iripIssued += uint64(len(reqs))
@@ -256,7 +256,7 @@ func (m *Morrigan) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbp
 		reqs = append(reqs, tlbprefetch.Request{
 			VPN:     vpn + 1,
 			Spatial: m.cfg.Spatial,
-			Token:   token{sdp: true},
+			Token:   tlbprefetch.TokenSDP,
 		})
 		m.sdpIssued++
 	}
@@ -270,6 +270,10 @@ func (m *Morrigan) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbp
 	m.prev[t] = vpn
 	m.prevTable[t] = ti
 	m.prevSeen[t] = true
+	m.out = reqs
+	if len(reqs) == 0 {
+		return nil
+	}
 	return reqs
 }
 
@@ -332,24 +336,25 @@ func (m *Morrigan) recordDistance(t arch.ThreadID, vpn arch.VPN) {
 // OnPrefetchHit implements tlbprefetch.Prefetcher: a PB entry produced by
 // Morrigan eliminated a demand page walk, so the producing prediction
 // slot's confidence counter is incremented (step 6 of Figure 12).
-func (m *Morrigan) OnPrefetchHit(tok any) {
-	tk, ok := tok.(token)
-	if !ok {
-		return
-	}
-	if tk.sdp {
+func (m *Morrigan) OnPrefetchHit(tok tlbprefetch.Token) {
+	switch tok.Kind() {
+	case tlbprefetch.TokenSDP:
 		m.sdpHits++
 		return
+	case tlbprefetch.TokenIRIP:
+	default:
+		return // not a Morrigan token
 	}
 	m.iripHits++
 	// The entry may have migrated tables since the prefetch was issued, so
 	// search the ensemble.
-	_, e := m.findEntry(tk.vpn)
+	_, e := m.findEntry(tok.VPN())
 	if e == nil {
 		return
 	}
+	dist := tok.Dist()
 	for i := 0; i < e.n; i++ {
-		if e.dists[i] == tk.dist {
+		if e.dists[i] == dist {
 			if e.confs[i] < maxConf {
 				e.confs[i]++
 			}

@@ -12,6 +12,11 @@ func miss(m *Morrigan, vpn arch.VPN) []tlbprefetch.Request {
 	return m.OnMiss(0, vpn.Addr(), vpn)
 }
 
+// irip packs an IRIP provenance token, as OnMiss would attach it.
+func irip(vpn arch.VPN, dist int32) tlbprefetch.Token {
+	return tlbprefetch.PackToken(tlbprefetch.TokenIRIP, vpn, dist)
+}
+
 func TestDefaultConfigStorageBudget(t *testing.T) {
 	m := New(DefaultConfig())
 	// 128*(16+17) + 128*(16+34) + 128*(16+68) + 64*(16+136) = 31104 bits.
@@ -94,7 +99,7 @@ func TestFirstMissInstallsInS1(t *testing.T) {
 	if len(reqs) != 1 || reqs[0].VPN != 0xA2 || !reqs[0].Spatial {
 		t.Fatalf("reqs = %+v", reqs)
 	}
-	if tok := reqs[0].Token.(token); !tok.sdp {
+	if reqs[0].Token.Kind() != tlbprefetch.TokenSDP {
 		t.Fatal("request not attributed to SDP")
 	}
 	if m.tables[0].peek(0xA1) == nil {
@@ -114,8 +119,8 @@ func TestLearnsSingleSuccessor(t *testing.T) {
 	for _, r := range reqs {
 		if r.VPN == 0xB5 {
 			found = true
-			if tok := r.Token.(token); tok.sdp || tok.vpn != 0xA1 {
-				t.Fatalf("bad token %+v", tok)
+			if tok := r.Token; tok.Kind() != tlbprefetch.TokenIRIP || tok.VPN() != 0xA1 {
+				t.Fatalf("bad token %#x", uint64(tok))
 			}
 		}
 	}
@@ -195,8 +200,8 @@ func TestSpatialOnlyForHighestConfidence(t *testing.T) {
 	miss(m, 0xA1)
 	miss(m, 0xB0)
 	// Bump confidence of the 0xA5 slot via prefetch-hit feedback.
-	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
-	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	m.OnPrefetchHit(irip(0xA1, 4))
+	m.OnPrefetchHit(irip(0xA1, 4))
 	reqs := miss(m, 0xA1)
 	if len(reqs) != 2 {
 		t.Fatalf("reqs = %+v", reqs)
@@ -241,7 +246,7 @@ func TestConfidenceSaturates(t *testing.T) {
 	miss(m, 0xA1)
 	miss(m, 0xA5)
 	for i := 0; i < 10; i++ {
-		m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+		m.OnPrefetchHit(irip(0xA1, 4))
 	}
 	e := m.tables[0].peek(0xA1)
 	if e.confs[0] != maxConf {
@@ -260,7 +265,7 @@ func TestPrefetchHitAfterMigration(t *testing.T) {
 	miss(m, 0xA1)
 	miss(m, 0xB0)
 	// Token issued when the entry was in S1 must still land.
-	m.OnPrefetchHit(token{vpn: 0xA1, dist: 4})
+	m.OnPrefetchHit(irip(0xA1, 4))
 	e := m.tables[1].peek(0xA1)
 	if e == nil {
 		t.Fatal("entry not in S2")
@@ -278,15 +283,15 @@ func TestPrefetchHitAfterMigration(t *testing.T) {
 
 func TestPrefetchHitSDPAndForeignTokens(t *testing.T) {
 	m := New(DefaultConfig())
-	m.OnPrefetchHit(token{sdp: true})
+	m.OnPrefetchHit(tlbprefetch.TokenSDP)
 	if m.SDPHits() != 1 {
 		t.Fatalf("SDPHits = %d", m.SDPHits())
 	}
-	// Foreign token types are ignored.
-	m.OnPrefetchHit("not-a-token")
-	m.OnPrefetchHit(nil)
+	// Foreign token kinds are ignored.
+	m.OnPrefetchHit(tlbprefetch.TokenICache)
+	m.OnPrefetchHit(tlbprefetch.TokenNone)
 	// Token for an evicted entry is harmless.
-	m.OnPrefetchHit(token{vpn: 0xDEAD, dist: 1})
+	m.OnPrefetchHit(irip(0xDEAD, 1))
 }
 
 func TestS8LowestConfidenceVictimized(t *testing.T) {
@@ -303,7 +308,7 @@ func TestS8LowestConfidenceVictimized(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		if e.dists[i] != 3 { // leave distance 3 at confidence 0
-			m.OnPrefetchHit(token{vpn: 0x200, dist: e.dists[i]})
+			m.OnPrefetchHit(irip(0x200, e.dists[i]))
 		}
 	}
 	// A ninth distinct distance replaces the lowest-confidence slot (3).
@@ -363,7 +368,7 @@ func TestResetStats(t *testing.T) {
 	m := New(DefaultConfig())
 	miss(m, 1)
 	miss(m, 2)
-	m.OnPrefetchHit(token{sdp: true})
+	m.OnPrefetchHit(tlbprefetch.TokenSDP)
 	m.ResetStats()
 	if m.IRIPIssued()+m.SDPIssued()+m.IRIPHits()+m.SDPHits()+m.Transfers() != 0 {
 		t.Fatal("stats not reset")

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"morrigan/internal/arch"
+	"morrigan/internal/tlbprefetch"
 )
 
 // driveStream feeds a miss stream into a fresh Morrigan and returns it.
@@ -110,8 +111,7 @@ func TestPropertyPredictionsMatchObservedSuccessors(t *testing.T) {
 				continue
 			}
 			for _, r := range reqs {
-				tok, ok := r.Token.(token)
-				if !ok || tok.sdp {
+				if r.Token.Kind() != tlbprefetch.TokenIRIP {
 					continue // SDP's next-page guess is not chain-derived
 				}
 				// An IRIP prediction from this miss must correspond to a

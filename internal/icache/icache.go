@@ -23,6 +23,9 @@ type Prefetcher interface {
 	Name() string
 	// OnFetch observes a demand fetch of the given virtual line and
 	// whether it missed in the L1I; it returns virtual lines to prefetch.
+	// The returned slice is only valid until the next OnFetch call:
+	// stateful implementations reuse an internal buffer to keep the fetch
+	// path allocation-free.
 	OnFetch(line uint64, miss bool) []uint64
 	// Flush clears learned state.
 	Flush()
@@ -82,6 +85,11 @@ type FNLMMA struct {
 	tick     uint64
 	prevMiss uint64
 	seeded   bool
+
+	// Reusable OnFetch buffers (result valid until the next call).
+	out      []uint64
+	frontier []uint64
+	next     []uint64
 }
 
 // NewFNLMMA builds the prefetcher with the given miss-table capacity.
@@ -169,7 +177,7 @@ func (f *FNLMMA) record(prev, cur uint64) {
 
 // OnFetch implements Prefetcher.
 func (f *FNLMMA) OnFetch(line uint64, miss bool) []uint64 {
-	out := make([]uint64, 0, f.Degree+2*f.Ahead)
+	out := f.out[:0]
 	// FNL: run several lines ahead, across page boundaries.
 	for d := 1; d <= f.Degree; d++ {
 		out = append(out, line+uint64(d))
@@ -181,9 +189,10 @@ func (f *FNLMMA) OnFetch(line uint64, miss bool) []uint64 {
 		f.prevMiss = line
 		f.seeded = true
 		// MMA: follow the learned miss chain ahead.
-		frontier := []uint64{line}
+		frontier := append(f.frontier[:0], line)
+		next := f.next[:0]
 		for depth := 0; depth < f.Ahead; depth++ {
-			var next []uint64
+			next = next[:0]
 			for _, l := range frontier {
 				e := f.find(l)
 				if e == nil {
@@ -197,9 +206,11 @@ func (f *FNLMMA) OnFetch(line uint64, miss bool) []uint64 {
 			if len(next) == 0 {
 				break
 			}
-			frontier = next
+			frontier, next = next, frontier
 		}
+		f.frontier, f.next = frontier[:0], next[:0]
 	}
+	f.out = out
 	return out
 }
 

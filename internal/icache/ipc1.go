@@ -36,6 +36,8 @@ type EPI struct {
 	head      uint64 // current entangling head line
 	sinceHead int    // misses observed since the head
 	haveHead  bool
+
+	out []uint64 // reusable OnFetch buffer (valid until the next call)
 }
 
 type epiEntry struct {
@@ -132,7 +134,8 @@ func (e *EPI) OnFetch(line uint64, miss bool) []uint64 {
 	// Trigger: any fetch of an entangling head prefetches its
 	// destinations ahead of their misses.
 	if ent := e.find(line, false); ent != nil {
-		out = append(out, ent.dst...)
+		e.out = append(e.out[:0], ent.dst...)
+		out = e.out
 	}
 	if miss {
 		if e.haveHead && e.sinceHead < e.Window && line != e.head {
@@ -176,6 +179,8 @@ type DJolt struct {
 	tick     uint64
 	lastLine uint64
 	seeded   bool
+
+	out []uint64 // reusable OnFetch buffer (valid until the next call)
 }
 
 type djoltEntry struct {
@@ -226,7 +231,7 @@ func (d *DJolt) set(region uint64) []djoltEntry {
 
 // OnFetch implements Prefetcher.
 func (d *DJolt) OnFetch(line uint64, miss bool) []uint64 {
-	out := make([]uint64, 0, d.Degree+d.Footprint+1)
+	out := d.out[:0]
 	for i := 1; i <= d.Degree; i++ {
 		out = append(out, line+uint64(i))
 	}
@@ -269,6 +274,7 @@ func (d *DJolt) OnFetch(line uint64, miss bool) []uint64 {
 	}
 	d.lastLine = line
 	d.seeded = true
+	d.out = out
 	return out
 }
 

@@ -33,7 +33,7 @@ func TestSpecStatsEquivalence(t *testing.T) {
 			func() Spec { s := Default(); s.Prefetcher = SP(); return s },
 			func() sim.Config {
 				c := sim.DefaultConfig()
-				c.Prefetcher = tlbprefetch.SP{}
+				c.Prefetcher = &tlbprefetch.SP{}
 				return c
 			},
 		},

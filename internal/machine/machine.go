@@ -278,7 +278,7 @@ func (p PrefetcherSpec) build() (tlbprefetch.Prefetcher, error) {
 	case PrefetcherNone:
 		return nil, nil
 	case PrefetcherSP:
-		return tlbprefetch.SP{}, nil
+		return &tlbprefetch.SP{}, nil
 	case PrefetcherASP, PrefetcherDP, PrefetcherMP:
 		if p.Entries <= 0 {
 			return nil, fmt.Errorf("machine: %s prefetcher needs entries > 0 (got %d)", kind, p.Entries)

@@ -30,6 +30,7 @@ type Hashed struct {
 	mappedCnt uint64
 	probesSum uint64
 	walks     uint64
+	epoch     uint64 // structural mutation counter (see Translator.Epoch)
 }
 
 // hashedGroup holds the resident PTEs of one VPN line group.
@@ -157,6 +158,7 @@ func (h *Hashed) Walk(vpn arch.VPN, allocate bool) Path {
 	}
 	g.ptes[slot] = PTE{PFN: h.allocUserFrame(), Present: true}
 	h.mappedCnt++
+	h.epoch++
 	p.Present = true
 	p.Leaf = g.ptes[slot].PFN
 	return p
@@ -229,6 +231,11 @@ func (h *Hashed) InteriorLevels() int { return 0 }
 
 // MappedPages implements Translator.
 func (h *Hashed) MappedPages() uint64 { return h.mappedCnt }
+
+// Epoch implements Translator. Installing a PTE covers group creation too:
+// a new group's tag can lengthen other groups' probe chains, and every such
+// install also bumps the epoch.
+func (h *Hashed) Epoch() uint64 { return h.epoch }
 
 // AvgProbes reports mean bucket probes per walk (1.0 = collision-free).
 func (h *Hashed) AvgProbes() float64 {

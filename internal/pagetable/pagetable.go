@@ -78,6 +78,13 @@ type Translator interface {
 	InteriorLevels() int
 	// MappedPages counts demand-mapped virtual pages.
 	MappedPages() uint64
+	// Epoch returns a counter that advances on every structural mutation
+	// (node allocation, demand-mapping, huge-region registration). Two
+	// Walk calls for the same vpn under the same epoch return the same
+	// Path, which lets the walker memoize walks safely: accessed-bit
+	// changes deliberately do not advance the epoch because they never
+	// appear in a Path.
+	Epoch() uint64
 }
 
 // node is one page table page: 512 entries, each either a pointer to a child
@@ -100,6 +107,7 @@ type Table struct {
 	scatter   int      // max random frame skip, models fragmentation
 	mappedCnt uint64
 	nodeCnt   uint64
+	epoch     uint64 // structural mutation counter (see Translator.Epoch)
 
 	// hugeRegions lists VPN ranges mapped with 2 MB pages (PD-level
 	// leaves). The paper's Section 5 methodology uses transparent huge
@@ -167,6 +175,7 @@ func (t *Table) AddHugeRegion(start, end arch.VPN) {
 		t.hugeBlocks = make(map[arch.VPN]hugeBlock)
 	}
 	t.hugeRegions = append(t.hugeRegions, vpnRange{start, end})
+	t.epoch++
 }
 
 // IsHuge reports whether vpn falls in a huge-page region.
@@ -212,6 +221,7 @@ func (t *Table) walkHuge(vpn arch.VPN, allocate bool) Path {
 				t.hugeBlocks[base] = blk
 				n.present[idx] = true
 				t.mappedCnt++
+				t.epoch++
 			}
 			p.Present = true
 			p.Leaf = blk.base + arch.PFN(vpn-base)
@@ -245,6 +255,7 @@ func (t *Table) newNode() *node {
 	n := &node{frame: t.nextKern}
 	t.nextKern++
 	t.nodeCnt++
+	t.epoch++
 	return n
 }
 
@@ -288,6 +299,7 @@ func (t *Table) Walk(vpn arch.VPN, allocate bool) Path {
 				n.leaves[idx] = PTE{PFN: t.allocUserFrame(), Present: true}
 				n.present[idx] = true
 				t.mappedCnt++
+				t.epoch++
 			}
 			p.Present = true
 			p.Leaf = n.leaves[idx].PFN
@@ -419,6 +431,9 @@ func (t *Table) LineNeighbors(vpn arch.VPN) []arch.VPN {
 
 // MappedPages returns how many virtual pages have been demand-mapped.
 func (t *Table) MappedPages() uint64 { return t.mappedCnt }
+
+// Epoch implements Translator.
+func (t *Table) Epoch() uint64 { return t.epoch }
 
 // Nodes returns how many page table pages exist (including the root).
 func (t *Table) Nodes() uint64 { return t.nodeCnt }

@@ -1,0 +1,71 @@
+// Package profile backs the -cpuprofile/-memprofile flags of the
+// command-line tools: it starts CPU profiling at process start and writes a
+// heap profile when the run finishes, so hot-path work on the simulator
+// (`go tool pprof morrigansim cpu.pprof`) doesn't need a bespoke harness.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges for a
+// heap profile to be written to memPath (when non-empty) by the returned
+// stop function. Callers must run stop before exiting or the CPU profile is
+// truncated and the heap profile never written; stop is idempotent, so both
+// deferring it and calling it explicitly before an os.Exit is safe. With
+// both paths empty Start is a no-op and stop does nothing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeap(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeap forces a GC (so the profile reflects live objects, not garbage)
+// and writes the heap profile to path.
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

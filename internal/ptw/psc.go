@@ -8,41 +8,69 @@ package ptw
 
 import "morrigan/internal/arch"
 
-// pscEntry caches one partial translation: the VPN prefix consumed through a
-// given radix level.
-type pscEntry struct {
-	prefix uint64
-	tid    arch.ThreadID
-	used   uint64
-	valid  bool
+// pscKey packs a cached partial translation — the VPN prefix consumed
+// through a given radix level, plus the owning thread — into one comparable
+// word with bit 0 as the valid marker (invalid slots are zero).
+func pscKey(tid arch.ThreadID, prefix uint64) uint64 {
+	return prefix<<9 | uint64(tid)<<1 | 1
 }
 
-// pscLevel is one of the three split PSC structures.
+// pscLevel is one of the three split PSC structures. Entries live in flat
+// parallel key/used arrays (struct-of-arrays); when the set count is a power
+// of two the set index uses a mask, computing the same index as the modulo.
+// last caches the slot of the most recent hit or insert: page walks for the
+// same region repeatedly probe the same prefix, and a verified key match at
+// the remembered slot short-circuits the set scan with identical observable
+// behaviour (same entry promoted, same hit accounting).
 type pscLevel struct {
 	sets, ways int
-	ents       []pscEntry
+	mask       uint64 // sets-1 when sets is a power of two, else 0
+	keys       []uint64
+	used       []uint64
+	last       int
 	tick       uint64
 	hits       uint64
 	lookups    uint64
 }
 
 func newPSCLevel(entries, ways int) *pscLevel {
-	return &pscLevel{sets: entries / ways, ways: ways, ents: make([]pscEntry, entries)}
+	p := &pscLevel{
+		sets: entries / ways,
+		ways: ways,
+		keys: make([]uint64, entries),
+		used: make([]uint64, entries),
+	}
+	if p.sets&(p.sets-1) == 0 {
+		p.mask = uint64(p.sets - 1)
+	}
+	return p
 }
 
-func (p *pscLevel) set(prefix uint64) []pscEntry {
-	s := int(prefix % uint64(p.sets))
-	return p.ents[s*p.ways : (s+1)*p.ways]
+// base returns the first slot index of the prefix's set.
+func (p *pscLevel) base(prefix uint64) int {
+	if p.mask != 0 || p.sets == 1 {
+		return int(prefix&p.mask) * p.ways
+	}
+	return int(prefix%uint64(p.sets)) * p.ways
 }
 
 func (p *pscLevel) lookup(tid arch.ThreadID, prefix uint64) bool {
 	p.tick++
 	p.lookups++
-	set := p.set(prefix)
-	for i := range set {
-		if set[i].valid && set[i].prefix == prefix && set[i].tid == tid {
-			set[i].used = p.tick
+	k := pscKey(tid, prefix)
+	// A key can live only in its home set, so a full-key match at the
+	// remembered slot is exactly the entry a set scan would find.
+	if p.keys[p.last] == k {
+		p.used[p.last] = p.tick
+		p.hits++
+		return true
+	}
+	base := p.base(prefix)
+	for i := base; i < base+p.ways; i++ {
+		if p.keys[i] == k {
+			p.used[i] = p.tick
 			p.hits++
+			p.last = i
 			return true
 		}
 	}
@@ -51,23 +79,26 @@ func (p *pscLevel) lookup(tid arch.ThreadID, prefix uint64) bool {
 
 func (p *pscLevel) insert(tid arch.ThreadID, prefix uint64) {
 	p.tick++
-	set := p.set(prefix)
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].prefix == prefix && set[i].tid == tid {
-			set[i].used = p.tick
+	k := pscKey(tid, prefix)
+	base := p.base(prefix)
+	victim := base
+	for i := base; i < base+p.ways; i++ {
+		if p.keys[i] == k {
+			p.used[i] = p.tick
+			p.last = i
 			return
 		}
-		if !set[i].valid {
+		if p.keys[i] == 0 {
 			victim = i
-			set[victim] = pscEntry{prefix: prefix, tid: tid, used: p.tick, valid: true}
-			return
+			break
 		}
-		if set[i].used < set[victim].used {
+		if p.used[i] < p.used[victim] {
 			victim = i
 		}
 	}
-	set[victim] = pscEntry{prefix: prefix, tid: tid, used: p.tick, valid: true}
+	p.keys[victim] = k
+	p.used[victim] = p.tick
+	p.last = victim
 }
 
 // PSCConfig sizes the three split PSC levels. Fields are (entries, ways).
@@ -182,8 +213,6 @@ func (p *PSC) HitRate() float64 {
 // Flush invalidates all PSC entries (context switch).
 func (p *PSC) Flush() {
 	for _, lv := range p.levels {
-		for i := range lv.ents {
-			lv.ents[i].valid = false
-		}
+		clear(lv.keys)
 	}
 }

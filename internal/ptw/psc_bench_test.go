@@ -1,0 +1,49 @@
+package ptw
+
+import (
+	"testing"
+
+	"morrigan/internal/arch"
+)
+
+// BenchmarkPSCLookupHit measures the split-PSC probe with a warm region:
+// the last-hit slot hint should make repeated same-region lookups a single
+// compare per level.
+func BenchmarkPSCLookupHit(b *testing.B) {
+	p := NewPSC(DefaultPSCConfig(), 4)
+	p.Fill(0, 0x1234, 0, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lookup(0, 0x1234)
+	}
+}
+
+// BenchmarkPSCLookupWandering measures lookups over a rotating set of
+// regions, defeating the last-hit hint so the set scans are exercised.
+func BenchmarkPSCLookupWandering(b *testing.B) {
+	p := NewPSC(DefaultPSCConfig(), 4)
+	vpns := make([]arch.VPN, 64)
+	for i := range vpns {
+		vpns[i] = arch.VPN(i) << (2 * arch.RadixBits)
+		p.Fill(0, vpns[i], 0, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lookup(0, vpns[i%len(vpns)])
+	}
+}
+
+// BenchmarkWalkMemoized measures a repeated walk of one mapped page — the
+// walk memo's best case: no pointer chase, but the full PSC and memory
+// timing path still runs.
+func BenchmarkWalkMemoized(b *testing.B) {
+	w, _, _ := newTestWalker(false)
+	w.Walk(0, 42, 0, true) // map the page and prime the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Walk(0, 42, arch.Cycle(i), true)
+	}
+}

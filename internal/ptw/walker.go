@@ -49,6 +49,24 @@ func DefaultConfig() Config {
 	return Config{PSC: DefaultPSCConfig(), MSHRs: 4}
 }
 
+// walkMemoSlots sizes the walker's direct-mapped walk memo (a power of two).
+const walkMemoSlots = 4096
+
+// walkMemo caches the functional outcome of one table walk: the reference
+// path and the leaf line's neighbour translations, both valid as long as the
+// table's structural epoch is unchanged. Timing state (PSC probes, memory
+// accesses, MSHR occupancy, accessed bits) is never memoized — a memo hit
+// replays the identical Path through the full timing model, so statistics
+// are bit-identical with and without the memo.
+type walkMemo struct {
+	vpn           arch.VPN
+	epoch         uint64
+	path          pagetable.Path
+	neighbors     []arch.VPN
+	haveNeighbors bool
+	valid         bool
+}
+
 // Walker performs page walks against a page table (radix or hashed),
 // filtered through the PSC when the table has interior levels, with memory
 // references served by the cache hierarchy.
@@ -60,6 +78,7 @@ type Walker struct {
 	cfg      Config
 	busy     []arch.Cycle // per-MSHR busy-until timestamps
 	probe    *telemetry.Probe
+	memo     []walkMemo
 
 	demandWalks     uint64
 	demandRefs      uint64
@@ -84,6 +103,7 @@ func New(pt pagetable.Translator, mem *cache.Hierarchy, cfg Config) *Walker {
 		mem:      mem,
 		cfg:      cfg,
 		busy:     make([]arch.Cycle, cfg.MSHRs),
+		memo:     make([]walkMemo, walkMemoSlots),
 	}
 }
 
@@ -124,7 +144,22 @@ func (w *Walker) Walk(tid arch.ThreadID, vpn arch.VPN, now arch.Cycle, demand bo
 		queued = w.busy[slot] - now
 	}
 
-	path := w.table.Walk(vpn, demand)
+	// Resolve the reference path, memoizing per (vpn, table epoch):
+	// repeated walks of an unchanged page table skip the pointer chase but
+	// replay the identical path through the PSC and memory timing below. A
+	// memoized non-present path cannot serve a demand walk — the demand
+	// walk must reach the table to demand-map the page.
+	epoch := w.table.Epoch()
+	m := &w.memo[uint64(vpn)&(walkMemoSlots-1)]
+	var path pagetable.Path
+	if m.valid && m.vpn == vpn && m.epoch == epoch && (m.path.Present || !demand) {
+		path = m.path
+	} else {
+		path = w.table.Walk(vpn, demand)
+		// A demand walk may have advanced the epoch by allocating; the
+		// fresh path is valid for the post-walk epoch.
+		*m = walkMemo{vpn: vpn, epoch: w.table.Epoch(), path: path, valid: true}
+	}
 	start := 0
 	var res WalkResult
 	res.Queued = queued
@@ -159,8 +194,15 @@ func (w *Walker) Walk(tid arch.ThreadID, vpn arch.VPN, now arch.Cycle, demand bo
 	res.PFN = path.Leaf
 	if path.Present || path.Depth == w.interior+1 {
 		// The leaf line was fetched, so its neighbouring translations are
-		// available for free.
-		res.FreeVPNs = w.table.LineNeighbors(vpn)
+		// available for free. The memo entry is current for this vpn and
+		// epoch (refreshed above on any mismatch), so the neighbour list
+		// is computed once per epoch and shared; callers consume it before
+		// the next walk per the WalkResult contract.
+		if !m.haveNeighbors {
+			m.neighbors = w.table.LineNeighbors(vpn)
+			m.haveNeighbors = true
+		}
+		res.FreeVPNs = m.neighbors
 	}
 	if w.interior > 0 {
 		// Cache the interior prefixes the walk resolved. resolvedThrough

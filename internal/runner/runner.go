@@ -224,9 +224,14 @@ type Options struct {
 	Remote RemoteExecutor
 	// Profiles, when non-nil, caches sampling profile artifacts on disk
 	// (typically <corpus>/profiles) so the functional profiling pass of a
-	// sampled job is paid once per workload and window. Without it, sampled
-	// jobs profile in memory on every run.
+	// sampled job is paid once per workload and window. Without it, Run
+	// falls back to an in-memory per-campaign cache with the same sharing:
+	// the pass depends only on the workload and window, never the machine,
+	// so an N-config sweep pays it once per workload either way.
 	Profiles *sampling.ProfileStore
+	// memProfiles is the fallback in-memory profile cache, installed by Run
+	// when sampled jobs are present and no disk store is attached.
+	memProfiles *sampling.MemProfileCache
 	// Spans, when non-nil, records a distributed-tracing span for every job
 	// lifecycle phase — reuse lookups, cache waits, machine build, corpus
 	// ingest, sampled fast-forward/settle, timed simulation, persistence —
@@ -301,6 +306,14 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	}
 	if opt.Observer != nil {
 		opt.Observer.CampaignStarted(len(jobs))
+	}
+	if opt.Profiles == nil {
+		for i := range jobs {
+			if jobs[i].Sampling != nil {
+				opt.memProfiles = sampling.NewMemProfileCache()
+				break
+			}
+		}
 	}
 
 	var (

@@ -42,9 +42,12 @@ func executeSampled(ctx context.Context, sp **sim.Simulator, cfg sim.Config, j J
 	var prof *sampling.Profile
 	var err error
 	profSpan := opt.Spans.Start(traceID, "sample.profile")
-	if opt.Profiles != nil {
+	switch {
+	case opt.Profiles != nil:
 		prof, err = opt.Profiles.Profile(w.Hash(), j.Warmup, j.Measure, pol.Interval, newReader)
-	} else {
+	case opt.memProfiles != nil:
+		prof, err = opt.memProfiles.Profile(w.Hash(), j.Warmup, j.Measure, pol.Interval, newReader)
+	default:
 		var r trace.Reader
 		if r, err = newReader(); err == nil {
 			prof, err = sampling.BuildProfile(r, w.Hash(), j.Warmup, j.Measure, pol.Interval)

@@ -1,0 +1,80 @@
+package sampling
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"morrigan/internal/trace"
+)
+
+// MemProfileCache caches profile artifacts in memory for the lifetime of a
+// campaign. The functional profiling pass depends only on the workload and
+// the sampling window — not on the machine under test — so a sweep that runs
+// N configurations over the same workload pays the pass once instead of N
+// times even when no disk-backed ProfileStore is attached. Builds are
+// single-flighted per key, mirroring ProfileStore; the cached *Profile is
+// shared, so callers must not mutate it (Cluster copies before normalising).
+type MemProfileCache struct {
+	mu    sync.Mutex
+	calls map[string]*profileCall
+
+	built  atomic.Uint64
+	reused atomic.Uint64
+}
+
+// NewMemProfileCache returns an empty cache.
+func NewMemProfileCache() *MemProfileCache {
+	return &MemProfileCache{calls: make(map[string]*profileCall)}
+}
+
+// Profile returns the cached artifact for the window, building it with a
+// functional pass over a fresh reader from newReader on the first request.
+// Unlike ProfileStore, completed entries stay resident: a campaign's
+// distinct (workload, window) set is small and each profile is a few KB.
+func (mc *MemProfileCache) Profile(workloadHash string, skip, measure, interval uint64, newReader func() (trace.Reader, error)) (*Profile, error) {
+	key := ProfileKey(workloadHash, skip, measure, interval)
+
+	mc.mu.Lock()
+	if call, ok := mc.calls[key]; ok {
+		mc.mu.Unlock()
+		<-call.done
+		if call.err == nil {
+			mc.reused.Add(1)
+		}
+		return call.prof, call.err
+	}
+	call := &profileCall{done: make(chan struct{})}
+	mc.calls[key] = call
+	mc.mu.Unlock()
+
+	call.prof, call.err = buildFresh(workloadHash, skip, measure, interval, newReader)
+	if call.err == nil {
+		mc.built.Add(1)
+	}
+	close(call.done)
+
+	if call.err != nil {
+		// Drop failed builds so a transient reader error doesn't poison the
+		// key for the rest of the campaign.
+		mc.mu.Lock()
+		delete(mc.calls, key)
+		mc.mu.Unlock()
+	}
+	return call.prof, call.err
+}
+
+// buildFresh runs the functional profiling pass over a fresh reader.
+func buildFresh(workloadHash string, skip, measure, interval uint64, newReader func() (trace.Reader, error)) (*Profile, error) {
+	r, err := newReader()
+	if err != nil {
+		return nil, err
+	}
+	defer closeReader(r)
+	return BuildProfile(r, workloadHash, skip, measure, interval)
+}
+
+// Built returns how many profiles were computed from scratch.
+func (mc *MemProfileCache) Built() uint64 { return mc.built.Load() }
+
+// Reused returns how many requests were served from cache or in flight.
+func (mc *MemProfileCache) Reused() uint64 { return mc.reused.Load() }

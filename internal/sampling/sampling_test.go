@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"errors"
 	"io"
 	"math"
 	"os"
@@ -345,5 +346,72 @@ func TestRecordOutcomeTotals(t *testing.T) {
 	}
 	if d := after.FastForwarded - before.FastForwarded; d != 900 {
 		t.Errorf("fast-forwarded advanced by %d, want 900", d)
+	}
+}
+
+func TestMemProfileCacheSharesAcrossConfigs(t *testing.T) {
+	mc := NewMemProfileCache()
+	builds := 0
+	newReader := func() (trace.Reader, error) {
+		builds++
+		return &sliceReader{recs: loopTrace(5_000, 8)}, nil
+	}
+
+	// Six "configs" of the same workload and window — the fig15 shape.
+	var first *Profile
+	for i := 0; i < 6; i++ {
+		p, err := mc.Profile("w", 0, 5_000, 1_000, newReader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = p
+		} else if p != first {
+			t.Error("cache returned a different profile instance")
+		}
+	}
+	if builds != 1 {
+		t.Errorf("functional pass ran %d times, want 1", builds)
+	}
+	if mc.Built() != 1 || mc.Reused() != 5 {
+		t.Errorf("built=%d reused=%d, want 1/5", mc.Built(), mc.Reused())
+	}
+
+	// A different window is a different key.
+	if _, err := mc.Profile("w", 0, 5_000, 500, newReader); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Built() != 2 {
+		t.Errorf("built=%d after new window, want 2", mc.Built())
+	}
+
+	// The cached profile matches a direct build bit for bit.
+	direct, err := BuildProfile(&sliceReader{recs: loopTrace(5_000, 8)}, "w", 0, 5_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, direct) {
+		t.Error("cached profile differs from a direct build")
+	}
+}
+
+func TestMemProfileCacheErrorNotCached(t *testing.T) {
+	mc := NewMemProfileCache()
+	fail := true
+	newReader := func() (trace.Reader, error) {
+		if fail {
+			return nil, errors.New("transient")
+		}
+		return &sliceReader{recs: loopTrace(5_000, 8)}, nil
+	}
+	if _, err := mc.Profile("w", 0, 5_000, 1_000, newReader); err == nil {
+		t.Fatal("reader error not surfaced")
+	}
+	fail = false
+	if _, err := mc.Profile("w", 0, 5_000, 1_000, newReader); err != nil {
+		t.Fatalf("failed build poisoned the key: %v", err)
+	}
+	if mc.Built() != 1 {
+		t.Errorf("built=%d, want 1", mc.Built())
 	}
 }

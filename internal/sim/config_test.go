@@ -29,7 +29,7 @@ func TestConfigValidateErrors(t *testing.T) {
 		{"smt block zero", func(c *Config) { c.SMTBlock = 0 }, "SMTBlock"},
 		{"perfect istlb with prefetcher", func(c *Config) {
 			c.PerfectISTLB = true
-			c.Prefetcher = tlbprefetch.SP{}
+			c.Prefetcher = &tlbprefetch.SP{}
 		}, "PerfectISTLB excludes"},
 		{"page table kind out of range", func(c *Config) { c.PageTable = PageTableHashed + 1 }, "unknown page table kind"},
 		{"page table kind negative", func(c *Config) { c.PageTable = -1 }, "unknown page table kind"},

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"morrigan/internal/arch"
+	"morrigan/internal/core"
+	"morrigan/internal/icache"
+	"morrigan/internal/tlbprefetch"
+)
+
+// This file devirtualizes the two prefetcher plug-in points on the
+// per-instruction hot path. Config still accepts the tlbprefetch.Prefetcher
+// and icache.Prefetcher interfaces, but New resolves the concrete
+// implementation once, at construction, into a small kind tag plus a typed
+// pointer; every subsequent OnMiss/OnPrefetchHit/OnFetch call is a switch on
+// the tag followed by a direct (inlinable, non-interface) method call.
+// Implementations the switch does not know — test fakes, future external
+// prefetchers — fall back to ordinary interface dispatch, so behaviour is
+// identical either way.
+
+// linesPerPage is the number of cache lines per 4 KB page, shared by the
+// I-cache prefetch paths.
+const linesPerPage = arch.PageSize / arch.LineSize
+
+// pfKind tags the concrete iSTLB prefetcher implementation.
+type pfKind uint8
+
+// iSTLB prefetcher kinds, mirroring machine.PrefetcherSpec's vocabulary.
+const (
+	pfIface pfKind = iota // unknown implementation: interface dispatch
+	pfNone
+	pfSP
+	pfASP
+	pfDP
+	pfMP
+	pfUMP
+	pfMorrigan
+)
+
+// pfDispatch is the devirtualized iSTLB-prefetcher call site.
+type pfDispatch struct {
+	kind  pfKind
+	iface tlbprefetch.Prefetcher // always non-nil; Name and the fallback path
+	sp    *tlbprefetch.SP
+	asp   *tlbprefetch.ASP
+	dp    *tlbprefetch.DP
+	mp    *tlbprefetch.MP
+	ump   *tlbprefetch.UnboundedMP
+	mor   *core.Morrigan
+}
+
+// newPFDispatch resolves pf (nil = no prefetching) to its concrete kind.
+func newPFDispatch(pf tlbprefetch.Prefetcher) pfDispatch {
+	if pf == nil {
+		pf = tlbprefetch.None{}
+	}
+	d := pfDispatch{kind: pfIface, iface: pf}
+	switch p := pf.(type) {
+	case tlbprefetch.None:
+		d.kind = pfNone
+	case *tlbprefetch.SP:
+		d.kind, d.sp = pfSP, p
+	case *tlbprefetch.ASP:
+		d.kind, d.asp = pfASP, p
+	case *tlbprefetch.DP:
+		d.kind, d.dp = pfDP, p
+	case *tlbprefetch.MP:
+		d.kind, d.mp = pfMP, p
+	case *tlbprefetch.UnboundedMP:
+		d.kind, d.ump = pfUMP, p
+	case *core.Morrigan:
+		d.kind, d.mor = pfMorrigan, p
+	}
+	return d
+}
+
+// OnMiss forwards the iSTLB miss to the concrete prefetcher.
+func (d *pfDispatch) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []tlbprefetch.Request {
+	switch d.kind {
+	case pfNone:
+		return nil
+	case pfSP:
+		return d.sp.OnMiss(tid, pc, vpn)
+	case pfASP:
+		return d.asp.OnMiss(tid, pc, vpn)
+	case pfDP:
+		return d.dp.OnMiss(tid, pc, vpn)
+	case pfMP:
+		return d.mp.OnMiss(tid, pc, vpn)
+	case pfUMP:
+		return d.ump.OnMiss(tid, pc, vpn)
+	case pfMorrigan:
+		return d.mor.OnMiss(tid, pc, vpn)
+	}
+	return d.iface.OnMiss(tid, pc, vpn)
+}
+
+// OnPrefetchHit credits the producing prefetcher for a PB hit.
+func (d *pfDispatch) OnPrefetchHit(token tlbprefetch.Token) {
+	switch d.kind {
+	case pfNone:
+	case pfSP:
+		d.sp.OnPrefetchHit(token)
+	case pfASP:
+		d.asp.OnPrefetchHit(token)
+	case pfDP:
+		d.dp.OnPrefetchHit(token)
+	case pfMP:
+		d.mp.OnPrefetchHit(token)
+	case pfUMP:
+		d.ump.OnPrefetchHit(token)
+	case pfMorrigan:
+		d.mor.OnPrefetchHit(token)
+	default:
+		d.iface.OnPrefetchHit(token)
+	}
+}
+
+// Flush clears prefetcher state on a context switch.
+func (d *pfDispatch) Flush() {
+	switch d.kind {
+	case pfNone:
+	case pfSP:
+		d.sp.Flush()
+	case pfASP:
+		d.asp.Flush()
+	case pfDP:
+		d.dp.Flush()
+	case pfMP:
+		d.mp.Flush()
+	case pfUMP:
+		d.ump.Flush()
+	case pfMorrigan:
+		d.mor.Flush()
+	default:
+		d.iface.Flush()
+	}
+}
+
+// ResetStats clears the prefetcher's interval statistics at the
+// warmup/measure boundary. Of the built-in kinds only Morrigan keeps any
+// (its IRIP/SDP hit attribution); unknown implementations get the optional
+// ResetStats interface probe the field-based dispatch used to apply.
+func (d *pfDispatch) ResetStats() {
+	switch d.kind {
+	case pfMorrigan:
+		d.mor.ResetStats()
+	case pfIface:
+		if m, ok := d.iface.(interface{ ResetStats() }); ok {
+			m.ResetStats()
+		}
+	}
+}
+
+// moduleHits returns Morrigan's per-module PB-hit attribution, when the
+// prefetcher exposes it.
+func (d *pfDispatch) moduleHits() (irip, sdp uint64, ok bool) {
+	switch d.kind {
+	case pfMorrigan:
+		return d.mor.IRIPHits(), d.mor.SDPHits(), true
+	case pfIface:
+		if m, ok := d.iface.(interface {
+			IRIPHits() uint64
+			SDPHits() uint64
+		}); ok {
+			return m.IRIPHits(), m.SDPHits(), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Devirtualized reports whether the iSTLB- and I-cache-prefetcher call sites
+// resolved to concrete fast paths at construction; false means the
+// implementation was unknown to the dispatch switch and runs through
+// interface calls. Every prefetcher a machine.Spec can name resolves
+// concretely (asserted by the machine package's tests).
+func (s *Simulator) Devirtualized() (pf, icachePF bool) {
+	return s.pf.kind != pfIface, s.icpf.kind != icIface
+}
+
+// icKind tags the concrete I-cache prefetcher implementation.
+type icKind uint8
+
+// I-cache prefetcher kinds, mirroring machine.ICacheSpec's vocabulary.
+const (
+	icIface icKind = iota // unknown implementation: interface dispatch
+	icNextLine
+	icFNLMMA
+	icEPI
+	icDJolt
+)
+
+// icDispatch is the devirtualized I-cache-prefetcher call site. The baseline
+// next-line policy is stateless, so it is inlined here outright with a
+// reusable one-element output buffer instead of calling into icache.NextLine
+// (whose interface-shaped OnFetch allocates its result).
+type icDispatch struct {
+	kind  icKind
+	iface icache.Prefetcher // always non-nil; Name and the fallback path
+	fnl   *icache.FNLMMA
+	epi   *icache.EPI
+	dj    *icache.DJolt
+	nlOut [1]uint64
+}
+
+// newICDispatch resolves icpf (nil = baseline next-line) to its concrete
+// kind.
+func newICDispatch(icpf icache.Prefetcher) icDispatch {
+	if icpf == nil {
+		icpf = icache.NextLine{}
+	}
+	d := icDispatch{kind: icIface, iface: icpf}
+	switch p := icpf.(type) {
+	case icache.NextLine:
+		d.kind = icNextLine
+	case *icache.FNLMMA:
+		d.kind, d.fnl = icFNLMMA, p
+	case *icache.EPI:
+		d.kind, d.epi = icEPI, p
+	case *icache.DJolt:
+		d.kind, d.dj = icDJolt, p
+	}
+	return d
+}
+
+// OnFetch forwards a fetched line to the concrete prefetcher and returns its
+// prefetch candidates. The returned slice is only valid until the next call.
+func (d *icDispatch) OnFetch(line uint64, miss bool) []uint64 {
+	switch d.kind {
+	case icNextLine:
+		// icache.NextLine inlined: the following line, unless it crosses a
+		// page boundary.
+		if line/linesPerPage != (line+1)/linesPerPage {
+			return nil
+		}
+		d.nlOut[0] = line + 1
+		return d.nlOut[:]
+	case icFNLMMA:
+		return d.fnl.OnFetch(line, miss)
+	case icEPI:
+		return d.epi.OnFetch(line, miss)
+	case icDJolt:
+		return d.dj.OnFetch(line, miss)
+	}
+	return d.iface.OnFetch(line, miss)
+}
+
+// Flush clears predictor state on a context switch.
+func (d *icDispatch) Flush() {
+	switch d.kind {
+	case icNextLine:
+	case icFNLMMA:
+		d.fnl.Flush()
+	case icEPI:
+		d.epi.Flush()
+	case icDJolt:
+		d.dj.Flush()
+	default:
+		d.iface.Flush()
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"morrigan/internal/arch"
+	"morrigan/internal/core"
+)
+
+// BenchmarkTranslateInstr measures the instruction-side translation path —
+// ITLB/STLB probes, PB lookups, demand walks and prefetcher engagement —
+// over a wandering page working set large enough to keep missing.
+func BenchmarkTranslateInstr(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Prefetcher = core.New(core.DefaultConfig())
+	s, err := New(cfg, []ThreadSpec{{Reader: testWorkload()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-map a page pool so the benchmark measures translation, not
+	// first-touch demand paging.
+	const pages = 1 << 14
+	for v := arch.VPN(0); v < pages; v++ {
+		s.pt.EnsureMapped(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vpn := arch.VPN(uint64(i)*2654435761) % pages
+		pc := arch.VAddr(vpn) << arch.PageShift
+		s.translateInstr(0, pc, vpn)
+		s.core.Retire(1)
+	}
+}
+
+// BenchmarkRunMorrigan measures the full batched pipeline end to end: the
+// per-instruction cost of run/step/fetch/data over the synthetic server
+// workload with the Morrigan prefetcher, the configuration the campaign
+// throughput gate tracks.
+func BenchmarkRunMorrigan(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Prefetcher = core.New(core.DefaultConfig())
+	s, err := New(cfg, []ThreadSpec{{Reader: testWorkload()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.run(context.Background(), uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunReferenceMorrigan is the per-record reference loop under the
+// same configuration, for comparing against BenchmarkRunMorrigan.
+func BenchmarkRunReferenceMorrigan(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Prefetcher = core.New(core.DefaultConfig())
+	cfg.ReferenceLoop = true
+	s, err := New(cfg, []ThreadSpec{{Reader: testWorkload()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.run(context.Background(), uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -117,7 +117,6 @@ func (s *Simulator) ffStep(tid arch.ThreadID, th *thread, rec *trace.Record) {
 // here) and the line is filled like prefetchInstrLine would, without
 // touching pendingLines or the walker.
 func (s *Simulator) ffPrefetchLine(tid arch.ThreadID, th *thread, vline uint64) {
-	const linesPerPage = arch.PageSize / arch.LineSize
 	vpn := arch.VPN(vline / linesPerPage)
 	var pfn arch.PFN
 	switch {
@@ -181,7 +180,7 @@ func (s *Simulator) FastForwarded() uint64 { return s.fastForwarded }
 // ready/busy timestamps left by the previous slice's clock epoch would
 // otherwise read as far-future and charge phantom stalls.
 func (s *Simulator) SettleTiming() {
-	clear(s.pendingLines)
+	s.pending.reset()
 	s.pb.Settle()
 	s.walker.Settle()
 }

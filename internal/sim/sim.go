@@ -8,7 +8,6 @@ import (
 	"morrigan/internal/arch"
 	"morrigan/internal/cache"
 	"morrigan/internal/cpu"
-	"morrigan/internal/icache"
 	"morrigan/internal/pagetable"
 	"morrigan/internal/ptw"
 	"morrigan/internal/telemetry"
@@ -17,12 +16,9 @@ import (
 	"morrigan/internal/trace"
 )
 
-// icacheToken marks PB entries produced by page-crossing I-cache prefetches
-// (Section 3.5's FNL+MMA+TLB configuration).
-type icacheToken struct{}
-
-// batchSize is the per-thread record buffer filled from a trace.BatchReader:
-// one interface call supplies this many instructions to the hot loop.
+// batchSize is the per-thread record buffer refilled from the trace reader:
+// one refill supplies this many instructions to the hot loop, which the
+// batched run path consumes as contiguous slices.
 const batchSize = 512
 
 // thread is the per-hardware-thread front-end state.
@@ -30,14 +26,16 @@ type thread struct {
 	reader trace.Reader
 	off    arch.VAddr
 
-	// batch, when non-nil, is the reader's bulk interface; buf[bpos:blen]
-	// holds fetched-ahead records. The consumed record sequence is identical
-	// to calling reader.Next per instruction, so batched and unbatched runs
-	// produce bit-identical stats.
-	batch trace.BatchReader
-	buf   []trace.Record
-	bpos  int
-	blen  int
+	// buf[bpos:blen] holds fetched-ahead records; every reader is consumed
+	// through it (trace.Fill uses the reader's bulk interface when it has
+	// one). The consumed record sequence is identical to calling reader.Next
+	// per instruction, so batched and reference runs produce bit-identical
+	// stats. pendingErr defers a mid-fill error from a plain reader until
+	// its preceding records have been consumed.
+	buf        []trace.Record
+	bpos       int
+	blen       int
+	pendingErr error
 
 	curLine uint64 // virtual line last fetched
 	curVPN  arch.VPN
@@ -46,21 +44,32 @@ type thread struct {
 	done    bool
 }
 
-// next fetches the thread's next record, through the batch buffer when the
-// reader supports bulk reads.
-func (th *thread) next(rec *trace.Record) error {
-	if th.batch == nil {
-		return th.reader.Next(rec)
+// refill replenishes the thread's record buffer. It returns a non-nil error
+// (io.EOF at end of stream) only when no records are available.
+func (th *thread) refill() error {
+	if th.pendingErr != nil {
+		err := th.pendingErr
+		th.pendingErr = nil
+		return err
 	}
+	n, err := trace.Fill(th.reader, th.buf)
+	if n == 0 {
+		if err == nil {
+			err = io.EOF // a conforming BatchReader never does this
+		}
+		return err
+	}
+	th.blen, th.bpos = n, 0
+	th.pendingErr = err
+	return nil
+}
+
+// next fetches the thread's next record through the batch buffer.
+func (th *thread) next(rec *trace.Record) error {
 	if th.bpos >= th.blen {
-		n, err := th.batch.NextBatch(th.buf)
-		if n == 0 {
-			if err == nil {
-				err = io.EOF // a conforming BatchReader never does this
-			}
+		if err := th.refill(); err != nil {
 			return err
 		}
-		th.blen, th.bpos = n, 0
 	}
 	*rec = th.buf[th.bpos]
 	th.bpos++
@@ -84,16 +93,16 @@ type Simulator struct {
 	dtlb   *tlb.TLB
 	stlb   *tlb.TLB
 	pb     *tlbprefetch.PrefetchBuffer
-	pf     tlbprefetch.Prefetcher
-	icpf   icache.Prefetcher
+	pf     pfDispatch
+	icpf   icDispatch
 	core   *cpu.Core
 
 	threads []*thread
 
-	// pendingLines records in-flight instruction line prefetches: physical
+	// pending records in-flight instruction line prefetches: physical
 	// line -> completion cycle. A demand fetch arriving earlier pays the
 	// remainder (late-prefetch timeliness).
-	pendingLines map[uint64]arch.Cycle
+	pending pendingTable
 
 	// nextSwitch is the instruction count of the next context switch.
 	nextSwitch uint64
@@ -174,33 +183,26 @@ func New(cfg Config, threads []ThreadSpec) (*Simulator, error) {
 		pt = pagetable.New(cfg.Seed)
 	}
 	s := &Simulator{
-		cfg:          cfg,
-		pt:           pt,
-		mem:          cache.NewHierarchy(cfg.Cache),
-		core:         cpu.New(cfg.Core),
-		pb:           tlbprefetch.NewPrefetchBuffer(cfg.PBEntries, cfg.PBLatency),
-		pendingLines: make(map[uint64]arch.Cycle),
+		cfg:     cfg,
+		pt:      pt,
+		mem:     cache.NewHierarchy(cfg.Cache),
+		core:    cpu.New(cfg.Core),
+		pb:      tlbprefetch.NewPrefetchBuffer(cfg.PBEntries, cfg.PBLatency),
+		pending: newPendingTable(),
 	}
 	s.itlb, s.dtlb, s.stlb = cfg.tlbs()
 	s.walker = ptw.New(s.pt, s.mem, cfg.Walker)
-	s.pf = cfg.Prefetcher
-	if s.pf == nil {
-		s.pf = tlbprefetch.None{}
-	}
-	s.icpf = cfg.ICachePrefetcher
-	if s.icpf == nil {
-		s.icpf = icache.NextLine{}
-	}
+	s.pf = newPFDispatch(cfg.Prefetcher)
+	s.icpf = newICDispatch(cfg.ICachePrefetcher)
 	for _, ts := range threads {
 		if ts.Reader == nil {
 			return nil, fmt.Errorf("sim: thread with nil reader")
 		}
-		th := &thread{reader: ts.Reader, off: ts.VAOffset}
-		if br, ok := ts.Reader.(trace.BatchReader); ok {
-			th.batch = br
-			th.buf = make([]trace.Record, batchSize)
-		}
-		s.threads = append(s.threads, th)
+		s.threads = append(s.threads, &thread{
+			reader: ts.Reader,
+			off:    ts.VAOffset,
+			buf:    make([]trace.Record, batchSize),
+		})
 	}
 	if cfg.HugeDataPages {
 		// Map each thread's synthetic data region with 2 MB pages. Code
@@ -284,7 +286,18 @@ func (s *Simulator) RunContext(ctx context.Context, warmup, measure uint64) (Sta
 
 // run executes n instructions, interleaving threads in SMTBlock-sized
 // groups. It stops early (without error) when every thread's trace ends.
+// The batched path is the default; Config.ReferenceLoop selects the
+// per-record reference loop the equivalence suite compares it against.
 func (s *Simulator) run(ctx context.Context, n uint64) error {
+	if s.cfg.ReferenceLoop {
+		return s.runReference(ctx, n)
+	}
+	return s.runBatched(ctx, n)
+}
+
+// runReference is the per-record reference implementation of the run loop:
+// one th.next call and one step per instruction.
+func (s *Simulator) runReference(ctx context.Context, n uint64) error {
 	var rec trace.Record
 	executed := uint64(0)
 	nextCheck := uint64(cancelCheckInterval)
@@ -320,6 +333,70 @@ func (s *Simulator) run(ctx context.Context, n uint64) error {
 		ti = (ti + 1) % len(s.threads)
 	}
 	return nil
+}
+
+// runBatched is the production run loop: it consumes each thread's record
+// buffer as contiguous slices, stepping whole sub-blocks without the
+// per-instruction record copy and buffer bookkeeping of the reference loop.
+// Records are consumed in exactly the order runReference consumes them — the
+// same buffer, the same SMT rotation, the same end-of-trace handling — so
+// both paths produce bit-identical Stats (asserted by the equivalence
+// suite).
+func (s *Simulator) runBatched(ctx context.Context, n uint64) error {
+	executed := uint64(0)
+	nextCheck := uint64(cancelCheckInterval)
+	ti := 0
+	for executed < n {
+		if executed >= nextCheck {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run interrupted: %w", err)
+			}
+			nextCheck += cancelCheckInterval
+		}
+		th := s.threads[ti]
+		if th.done {
+			ti = (ti + 1) % len(s.threads)
+			if s.allDone() {
+				return nil
+			}
+			continue
+		}
+		block := uint64(s.cfg.SMTBlock)
+		if left := n - executed; left < block {
+			block = left
+		}
+		for block > 0 {
+			if th.bpos >= th.blen {
+				err := th.refill()
+				if err == io.EOF {
+					th.done = true
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("sim: reading trace: %w", err)
+				}
+			}
+			take := uint64(th.blen - th.bpos)
+			if take > block {
+				take = block
+			}
+			recs := th.buf[th.bpos : th.bpos+int(take)]
+			th.bpos += int(take)
+			s.stepBlock(arch.ThreadID(ti), th, recs)
+			executed += take
+			s.executed += take
+			block -= take
+		}
+		ti = (ti + 1) % len(s.threads)
+	}
+	return nil
+}
+
+// stepBlock executes a contiguous slice of one thread's records.
+func (s *Simulator) stepBlock(tid arch.ThreadID, th *thread, recs []trace.Record) {
+	for i := range recs {
+		s.step(tid, th, &recs[i])
+	}
 }
 
 func (s *Simulator) allDone() bool {
@@ -371,13 +448,12 @@ func (s *Simulator) fetch(tid arch.ThreadID, th *thread, pc arch.VAddr) {
 	miss := res.Level != arch.LevelL1
 	if miss {
 		s.core.FetchMiss(res.Latency - s.mem.FillLatency(arch.LevelL1))
-	} else if ready, ok := s.pendingLines[paddr.Line()]; ok {
+	} else if ready, ok := s.pending.take(paddr.Line()); ok {
 		// The line was prefetched but the fill has not completed yet; the
 		// fetch waits out the remainder (late prefetch).
 		if now := s.now(); ready > now {
 			s.core.FetchMiss(ready - now)
 		}
-		delete(s.pendingLines, paddr.Line())
 	}
 	for _, vline := range s.icpf.OnFetch(pc.Line(), miss) {
 		s.prefetchInstrLine(tid, th, vline)
@@ -430,7 +506,7 @@ func (s *Simulator) translateInstr(tid arch.ThreadID, pc arch.VAddr, vpn arch.VP
 				s.c.pbLateCycles += ready - now
 				s.core.FrontEndStall(cpu.StallIWalk, ready-now)
 			}
-			if _, fromICache := token.(icacheToken); fromICache {
+			if token.Kind() == tlbprefetch.TokenICache {
 				s.c.icachePBServed++
 			}
 			s.pf.OnPrefetchHit(token)
@@ -506,7 +582,7 @@ func (s *Simulator) issuePrefetches(tid arch.ThreadID, at arch.Cycle, reqs []tlb
 // installPrefetch places a prefetched translation in the PB, or directly in
 // the STLB under the P2TLB configuration. at is the cycle the producing
 // request was issued; ready is when its page walk completes.
-func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, at, ready arch.Cycle) {
+func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token tlbprefetch.Token, at, ready arch.Cycle) {
 	if s.cfg.PrefetchIntoSTLB {
 		s.stlb.Insert(tid, vpn, pfn)
 		if s.probe != nil {
@@ -527,7 +603,6 @@ func (s *Simulator) installPrefetch(tid arch.ThreadID, vpn arch.VPN, pfn arch.PF
 // free (IPC-1 style) or pay for a prefetch page walk, depending on
 // Config.ICacheTLBCost.
 func (s *Simulator) prefetchInstrLine(tid arch.ThreadID, th *thread, vline uint64) {
-	const linesPerPage = arch.PageSize / arch.LineSize
 	vpn := arch.VPN(vline / linesPerPage)
 	var pfn arch.PFN
 	var extra arch.Cycle
@@ -569,19 +644,17 @@ func (s *Simulator) prefetchInstrLine(tid arch.ThreadID, th *thread, vline uint6
 		if !walk.Present {
 			return
 		}
-		s.installPrefetch(tid, vpn, walk.PFN, icacheToken{}, s.now(), s.now()+walk.Latency)
+		s.installPrefetch(tid, vpn, walk.PFN, tlbprefetch.TokenICache, s.now(), s.now()+walk.Latency)
 		pfn = walk.PFN
 		extra = walk.Latency
 	}
 
 	paddr := arch.Translate(pfn, arch.VAddr(vline*arch.LineSize))
 	level := s.mem.PrefetchInto(arch.LevelL1, paddr)
-	ready := s.now() + extra + s.mem.FillLatency(level)
-	if ready > s.now()+s.mem.FillLatency(arch.LevelL1) {
-		if len(s.pendingLines) > 8192 {
-			s.prunePending()
-		}
-		s.pendingLines[paddr.Line()] = ready
+	now := s.now()
+	ready := now + extra + s.mem.FillLatency(level)
+	if ready > now+s.mem.FillLatency(arch.LevelL1) {
+		s.pending.insert(paddr.Line(), ready, now)
 	}
 }
 
@@ -600,16 +673,6 @@ func (s *Simulator) contextSwitch() {
 	s.icpf.Flush()
 	for _, th := range s.threads {
 		th.haveVPN = false
-	}
-}
-
-// prunePending drops completed in-flight prefetch records.
-func (s *Simulator) prunePending() {
-	now := s.now()
-	for l, ready := range s.pendingLines {
-		if ready <= now {
-			delete(s.pendingLines, l)
-		}
 	}
 }
 
@@ -684,9 +747,7 @@ func (s *Simulator) resetStats() {
 		s.probe.Reset()
 		s.probeNext = s.probe.Interval()
 	}
-	if m, ok := s.pf.(interface{ ResetStats() }); ok {
-		m.ResetStats()
-	}
+	s.pf.ResetStats()
 }
 
 // telemetrySample snapshots the cumulative counters the telemetry probe

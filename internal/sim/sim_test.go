@@ -334,7 +334,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.STLBWays = 0 },
 		func(c *Config) { c.PBEntries = 0 },
 		func(c *Config) { c.SMTBlock = 0 },
-		func(c *Config) { c.PerfectISTLB = true; c.Prefetcher = tlbprefetch.SP{} },
+		func(c *Config) { c.PerfectISTLB = true; c.Prefetcher = &tlbprefetch.SP{} },
 	}
 	for i, mutate := range cases {
 		cfg := DefaultConfig()

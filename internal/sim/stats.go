@@ -154,12 +154,9 @@ func (s *Simulator) Snapshot() Stats {
 	for l := 0; l < arch.NumLevels; l++ {
 		st.PrefetchRefsByLevel[l] = s.mem.Served(cache.KindPTWPrefetch, arch.Level(l))
 	}
-	if m, ok := s.pf.(interface {
-		IRIPHits() uint64
-		SDPHits() uint64
-	}); ok {
-		st.IRIPHits = m.IRIPHits()
-		st.SDPHits = m.SDPHits()
+	if irip, sdp, ok := s.pf.moduleHits(); ok {
+		st.IRIPHits = irip
+		st.SDPHits = sdp
 	}
 	return st
 }

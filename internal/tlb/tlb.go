@@ -5,18 +5,24 @@
 // Entries are tagged with a thread ID so the SMT experiments can share one
 // physical STLB between two colocated workloads without mixing their
 // translations, mirroring ASID tagging in real parts.
+//
+// Storage is struct-of-arrays: each entry is a packed key word (VPN, thread
+// id, valid bit) in a flat keys array with parallel pfn/used arrays, so the
+// set scans in the simulator's hottest loop stream one dense uint64 array.
+// When the set count is a power of two the set index is a mask instead of a
+// modulo; both forms compute the identical index, keeping Figure 18's
+// non-power-of-two iso-storage STLB bit-identical.
 package tlb
 
 import (
 	"morrigan/internal/arch"
 )
 
-type entry struct {
-	vpn   arch.VPN
-	tid   arch.ThreadID
-	pfn   arch.PFN
-	used  uint64
-	valid bool
+// key packs a (thread, page) pair into one comparable word. Bit 0 is the
+// valid marker (an invalid slot is simply zero), bits 1-8 hold the thread id
+// and bits 9+ hold the VPN.
+func key(tid arch.ThreadID, vpn arch.VPN) uint64 {
+	return uint64(vpn)<<9 | uint64(tid)<<1 | 1
 }
 
 // TLB is one set-associative translation buffer.
@@ -24,9 +30,13 @@ type TLB struct {
 	name    string
 	sets    int
 	ways    int
+	mask    uint64 // sets-1 when sets is a power of two, else 0
 	latency arch.Cycle
-	ents    []entry
-	tick    uint64
+
+	keys []uint64
+	pfns []arch.PFN
+	used []uint64
+	tick uint64
 
 	accesses uint64
 	misses   uint64
@@ -39,13 +49,20 @@ func New(name string, entries, ways int, latency arch.Cycle) *TLB {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
 		panic("tlb: entries must be a positive multiple of ways")
 	}
-	return &TLB{
+	sets := entries / ways
+	t := &TLB{
 		name:    name,
-		sets:    entries / ways,
+		sets:    sets,
 		ways:    ways,
 		latency: latency,
-		ents:    make([]entry, entries),
+		keys:    make([]uint64, entries),
+		pfns:    make([]arch.PFN, entries),
+		used:    make([]uint64, entries),
 	}
+	if sets&(sets-1) == 0 {
+		t.mask = uint64(sets - 1)
+	}
+	return t
 }
 
 // Entries returns the TLB capacity.
@@ -57,20 +74,24 @@ func (t *TLB) Latency() arch.Cycle { return t.latency }
 // Name returns the TLB's configured name.
 func (t *TLB) Name() string { return t.name }
 
-func (t *TLB) set(vpn arch.VPN) []entry {
-	s := int(uint64(vpn) % uint64(t.sets))
-	return t.ents[s*t.ways : (s+1)*t.ways]
+// base returns the first slot index of vpn's set.
+func (t *TLB) base(vpn arch.VPN) int {
+	if t.mask != 0 || t.sets == 1 {
+		return int(uint64(vpn)&t.mask) * t.ways
+	}
+	return int(uint64(vpn)%uint64(t.sets)) * t.ways
 }
 
 // Lookup probes for the translation, promoting it on hit.
 func (t *TLB) Lookup(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
 	t.tick++
 	t.accesses++
-	set := t.set(vpn)
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn && set[i].tid == tid {
-			set[i].used = t.tick
-			return set[i].pfn, true
+	k := key(tid, vpn)
+	base := t.base(vpn)
+	for i := base; i < base+t.ways; i++ {
+		if t.keys[i] == k {
+			t.used[i] = t.tick
+			return t.pfns[i], true
 		}
 	}
 	t.misses++
@@ -81,9 +102,11 @@ func (t *TLB) Lookup(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
 // background prefetch paths use it so they never contend with demand
 // lookups.
 func (t *TLB) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
-	for _, e := range t.set(vpn) {
-		if e.valid && e.vpn == vpn && e.tid == tid {
-			return e.pfn, true
+	k := key(tid, vpn)
+	base := t.base(vpn)
+	for i := base; i < base+t.ways; i++ {
+		if t.keys[i] == k {
+			return t.pfns[i], true
 		}
 	}
 	return 0, false
@@ -91,8 +114,10 @@ func (t *TLB) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
 
 // Contains probes without updating replacement or statistics.
 func (t *TLB) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
-	for _, e := range t.set(vpn) {
-		if e.valid && e.vpn == vpn && e.tid == tid {
+	k := key(tid, vpn)
+	base := t.base(vpn)
+	for i := base; i < base+t.ways; i++ {
+		if t.keys[i] == k {
 			return true
 		}
 	}
@@ -102,31 +127,31 @@ func (t *TLB) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
 // Insert fills the translation, evicting the set's LRU entry if needed.
 func (t *TLB) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN) {
 	t.tick++
-	set := t.set(vpn)
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn && set[i].tid == tid {
-			set[i].pfn = pfn
-			set[i].used = t.tick
+	k := key(tid, vpn)
+	base := t.base(vpn)
+	victim := base
+	for i := base; i < base+t.ways; i++ {
+		if t.keys[i] == k {
+			t.pfns[i] = pfn
+			t.used[i] = t.tick
 			return
 		}
-		if !set[i].valid {
+		if t.keys[i] == 0 {
 			victim = i
-			set[victim] = entry{vpn: vpn, tid: tid, pfn: pfn, used: t.tick, valid: true}
-			return
+			break
 		}
-		if set[i].used < set[victim].used {
+		if t.used[i] < t.used[victim] {
 			victim = i
 		}
 	}
-	set[victim] = entry{vpn: vpn, tid: tid, pfn: pfn, used: t.tick, valid: true}
+	t.keys[victim] = k
+	t.pfns[victim] = pfn
+	t.used[victim] = t.tick
 }
 
 // Flush invalidates every entry (context switch).
 func (t *TLB) Flush() {
-	for i := range t.ents {
-		t.ents[i].valid = false
-	}
+	clear(t.keys)
 }
 
 // Accesses returns lookup count since the last ResetStats.

@@ -1,0 +1,58 @@
+package tlb
+
+import (
+	"testing"
+
+	"morrigan/internal/arch"
+)
+
+// BenchmarkLookupHit measures the set-scan fast path over a resident
+// working set (the common case on the fetch path).
+func BenchmarkLookupHit(b *testing.B) {
+	t := New("STLB", 1536, 6, 8)
+	const pages = 1024
+	for v := arch.VPN(0); v < pages; v++ {
+		t.Insert(0, v, arch.PFN(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0, arch.VPN(i)%pages)
+	}
+}
+
+// BenchmarkLookupMiss measures a guaranteed-miss probe stream.
+func BenchmarkLookupMiss(b *testing.B) {
+	t := New("STLB", 1536, 6, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0, arch.VPN(1<<30)+arch.VPN(i))
+	}
+}
+
+// BenchmarkInsert measures steady-state inserts with LRU eviction.
+func BenchmarkInsert(b *testing.B) {
+	t := New("STLB", 1536, 6, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := arch.VPN(uint64(i) * 2654435761 % (1 << 16))
+		t.Insert(0, v, arch.PFN(v))
+	}
+}
+
+// BenchmarkLookupNonPow2Sets exercises the modulo fallback taken when the
+// set count is not a power of two (the iso-storage STLB of Figure 18).
+func BenchmarkLookupNonPow2Sets(b *testing.B) {
+	t := New("STLB", 4608, 6, 8) // 768 sets: not a power of two
+	const pages = 1024
+	for v := arch.VPN(0); v < pages; v++ {
+		t.Insert(0, v, arch.PFN(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0, arch.VPN(i)%pages)
+	}
+}

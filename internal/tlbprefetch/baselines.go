@@ -4,26 +4,29 @@ import "morrigan/internal/arch"
 
 // SP is the Sequential Prefetcher: on a miss for page V it prefetches the
 // translation of V+1 (Kandiraju & Sivasubramaniam, ISCA'02).
-type SP struct{}
+type SP struct {
+	out [1]Request
+}
 
 // Name implements Prefetcher.
-func (SP) Name() string { return "SP" }
+func (*SP) Name() string { return "SP" }
 
 // StorageBits implements Prefetcher; SP is stateless.
-func (SP) StorageBits() int { return 0 }
+func (*SP) StorageBits() int { return 0 }
 
 // OnMiss implements Prefetcher.
-func (SP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
-	return []Request{{VPN: vpn + 1}}
+func (s *SP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
+	s.out[0] = Request{VPN: vpn + 1}
+	return s.out[:]
 }
 
 // OnPrefetchHit implements Prefetcher.
-func (SP) OnPrefetchHit(any) {}
+func (*SP) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
-func (SP) Flush() {}
+func (*SP) Flush() {}
 
-var _ Prefetcher = SP{}
+var _ Prefetcher = (*SP)(nil)
 
 // aspEntry is one Arbitrary Stride Prefetcher table entry (Baer-Chen style,
 // indexed by the PC of the instruction that triggered the STLB miss).
@@ -44,6 +47,7 @@ type ASP struct {
 	ents      []aspEntry
 	lookups   uint64
 	conflicts uint64
+	out       [1]Request
 }
 
 // NewASP builds an ASP with the given direct-mapped table size.
@@ -83,7 +87,8 @@ func (a *ASP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
 			e.conf++
 		}
 		if e.conf >= 2 {
-			out = []Request{{VPN: arch.VPN(int64(vpn) + stride)}}
+			a.out[0] = Request{VPN: arch.VPN(int64(vpn) + stride)}
+			out = a.out[:]
 		}
 	} else {
 		e.conf = 0
@@ -94,7 +99,7 @@ func (a *ASP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
 }
 
 // OnPrefetchHit implements Prefetcher.
-func (a *ASP) OnPrefetchHit(any) {}
+func (a *ASP) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
 func (a *ASP) Flush() {
@@ -136,6 +141,7 @@ type DP struct {
 	tick      uint64
 	lookups   uint64
 	conflicts uint64
+	out       []Request
 }
 
 // NewDP builds a DP with the given direct-mapped table size.
@@ -211,15 +217,15 @@ func (d *DP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
 	if !e.valid || e.tag != tag {
 		return nil
 	}
-	out := make([]Request, 0, e.n)
+	d.out = d.out[:0]
 	for i := 0; i < e.n; i++ {
-		out = append(out, Request{VPN: arch.VPN(int64(vpn) + e.dists[i])})
+		d.out = append(d.out, Request{VPN: arch.VPN(int64(vpn) + e.dists[i])})
 	}
-	return out
+	return d.out
 }
 
 // OnPrefetchHit implements Prefetcher.
-func (d *DP) OnPrefetchHit(any) {}
+func (d *DP) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
 func (d *DP) Flush() {
@@ -263,6 +269,7 @@ type MP struct {
 	prev [2]arch.VPN
 	seen [2]bool
 	tick uint64
+	out  []Request
 }
 
 // NewMP builds an MP with the given geometry. The paper's baseline MP is
@@ -304,9 +311,11 @@ func (m *MP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
 	var out []Request
 	if e := m.find(vpn); e != nil {
 		e.used = m.tick
+		m.out = m.out[:0]
 		for i := 0; i < e.n; i++ {
-			out = append(out, Request{VPN: e.succ[i]})
+			m.out = append(m.out, Request{VPN: e.succ[i]})
 		}
+		out = m.out
 	}
 
 	// Update the previous page's entry with the new successor, LRU both at
@@ -357,7 +366,7 @@ func (m *MP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request {
 }
 
 // OnPrefetchHit implements Prefetcher.
-func (m *MP) OnPrefetchHit(any) {}
+func (m *MP) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
 func (m *MP) Flush() {
@@ -379,6 +388,7 @@ type UnboundedMP struct {
 	prev    [2]arch.VPN
 	seen    [2]bool
 	tick    uint64
+	out     []Request
 }
 
 // NewUnboundedMP builds the idealization; maxSucc <= 0 means unlimited
@@ -408,8 +418,12 @@ func (u *UnboundedMP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []R
 	t := tid & 1
 	u.tick++
 	var out []Request
-	for _, s := range u.table[vpn] {
-		out = append(out, Request{VPN: s})
+	if succ := u.table[vpn]; len(succ) > 0 {
+		u.out = u.out[:0]
+		for _, s := range succ {
+			u.out = append(u.out, Request{VPN: s})
+		}
+		out = u.out
 	}
 	if u.seen[t] && u.prev[t] != vpn {
 		succ := u.table[u.prev[t]]
@@ -446,7 +460,7 @@ func (u *UnboundedMP) OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []R
 }
 
 // OnPrefetchHit implements Prefetcher.
-func (u *UnboundedMP) OnPrefetchHit(any) {}
+func (u *UnboundedMP) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
 func (u *UnboundedMP) Flush() {

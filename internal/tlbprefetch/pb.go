@@ -10,11 +10,21 @@ import (
 // entry is moved to the STLB, so Lookup removes it. Each entry carries the
 // provenance token of the request that produced it so the owning prefetcher
 // can be credited (Morrigan's confidence update, step 6 of Figure 12).
+//
+// Entries are stored struct-of-arrays: a packed key word (VPN, thread id and
+// a valid bit) plus parallel pfn/token/ready/used arrays, so the associative
+// scans touch one dense uint64 array instead of striding over wide structs.
 type PrefetchBuffer struct {
 	capacity int
 	latency  arch.Cycle
-	ents     []pbEntry
-	tick     uint64
+
+	keys   []uint64 // vpn<<9 | tid<<1 | 1; zero means invalid
+	pfns   []arch.PFN
+	tokens []Token
+	readys []arch.Cycle
+	used   []uint64
+
+	tick uint64
 
 	lookups uint64
 	hits    uint64
@@ -31,15 +41,15 @@ type PrefetchBuffer struct {
 	probe *telemetry.Probe
 }
 
-type pbEntry struct {
-	vpn   arch.VPN
-	tid   arch.ThreadID
-	pfn   arch.PFN
-	token any
-	ready arch.Cycle
-	used  uint64
-	valid bool
+// pbKey packs a (thread, page) pair into one comparable word with the low
+// bit as a valid marker, so invalid slots are simply zero.
+func pbKey(tid arch.ThreadID, vpn arch.VPN) uint64 {
+	return uint64(vpn)<<9 | uint64(tid)<<1 | 1
 }
+
+func pbKeyTID(key uint64) arch.ThreadID { return arch.ThreadID(key >> 1 & 0xff) }
+
+func pbKeyVPN(key uint64) arch.VPN { return arch.VPN(key >> 9) }
 
 // NewPrefetchBuffer builds a PB with the given capacity and lookup latency.
 func NewPrefetchBuffer(capacity int, latency arch.Cycle) *PrefetchBuffer {
@@ -49,7 +59,11 @@ func NewPrefetchBuffer(capacity int, latency arch.Cycle) *PrefetchBuffer {
 	return &PrefetchBuffer{
 		capacity: capacity,
 		latency:  latency,
-		ents:     make([]pbEntry, capacity),
+		keys:     make([]uint64, capacity),
+		pfns:     make([]arch.PFN, capacity),
+		tokens:   make([]Token, capacity),
+		readys:   make([]arch.Cycle, capacity),
+		used:     make([]uint64, capacity),
 	}
 }
 
@@ -63,26 +77,26 @@ func (b *PrefetchBuffer) Capacity() int { return b.capacity }
 // to the STLB) and its provenance token is returned together with the cycle
 // at which the prefetch page walk completed — a demand miss arriving before
 // that still waits for the remainder (late-prefetch timeliness).
-func (b *PrefetchBuffer) Lookup(tid arch.ThreadID, vpn arch.VPN) (pfn arch.PFN, token any, ready arch.Cycle, ok bool) {
+func (b *PrefetchBuffer) Lookup(tid arch.ThreadID, vpn arch.VPN) (pfn arch.PFN, token Token, ready arch.Cycle, ok bool) {
 	b.lookups++
-	for i := range b.ents {
-		e := &b.ents[i]
-		if e.valid && e.vpn == vpn && e.tid == tid {
+	k := pbKey(tid, vpn)
+	for i, key := range b.keys {
+		if key == k {
 			b.hits++
-			e.valid = false
-			return e.pfn, e.token, e.ready, true
+			b.keys[i] = 0
+			return b.pfns[i], b.tokens[i], b.readys[i], true
 		}
 	}
-	return 0, nil, 0, false
+	return 0, TokenNone, 0, false
 }
 
 // Contains probes without removal or statistics; prefetch deduplication uses
 // this (step 10 of Figure 12 — the PB, not the STLB, is checked so demand
 // STLB lookups are not contended).
 func (b *PrefetchBuffer) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
-	for i := range b.ents {
-		e := &b.ents[i]
-		if e.valid && e.vpn == vpn && e.tid == tid {
+	k := pbKey(tid, vpn)
+	for _, key := range b.keys {
+		if key == k {
 			return true
 		}
 	}
@@ -92,10 +106,10 @@ func (b *PrefetchBuffer) Contains(tid arch.ThreadID, vpn arch.VPN) bool {
 // Peek returns the translation without removing the entry or updating
 // statistics; background consumers (I-cache prefetch translation) use it.
 func (b *PrefetchBuffer) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) {
-	for i := range b.ents {
-		e := &b.ents[i]
-		if e.valid && e.vpn == vpn && e.tid == tid {
-			return e.pfn, true
+	k := pbKey(tid, vpn)
+	for i, key := range b.keys {
+		if key == k {
+			return b.pfns[i], true
 		}
 	}
 	return 0, false
@@ -104,37 +118,43 @@ func (b *PrefetchBuffer) Peek(tid arch.ThreadID, vpn arch.VPN) (arch.PFN, bool) 
 // Insert installs a prefetched translation, evicting the LRU entry when the
 // buffer is full. ready is the cycle at which the producing prefetch page
 // walk completes.
-func (b *PrefetchBuffer) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token any, ready arch.Cycle) {
+func (b *PrefetchBuffer) Insert(tid arch.ThreadID, vpn arch.VPN, pfn arch.PFN, token Token, ready arch.Cycle) {
 	b.tick++
 	b.inserts++
+	k := pbKey(tid, vpn)
 	victim := 0
-	for i := range b.ents {
-		e := &b.ents[i]
-		if e.valid && e.vpn == vpn && e.tid == tid {
+	for i, key := range b.keys {
+		if key == k {
 			// Refresh in place; keep the original provenance and the
 			// earlier completion time.
-			e.pfn = pfn
-			e.used = b.tick
+			b.pfns[i] = pfn
+			b.used[i] = b.tick
 			return
 		}
-		if !e.valid {
-			victim = i
-			b.ents[victim] = pbEntry{vpn: vpn, tid: tid, pfn: pfn, token: token, ready: ready, used: b.tick, valid: true}
+		if key == 0 {
+			b.set(i, k, pfn, token, ready)
 			return
 		}
-		if e.used < b.ents[victim].used {
+		if b.used[i] < b.used[victim] {
 			victim = i
 		}
 	}
 	b.useless++
 	if b.probe != nil {
-		v := &b.ents[victim]
-		b.probe.PrefetchEvicted(v.tid, v.vpn, v.ready)
+		b.probe.PrefetchEvicted(pbKeyTID(b.keys[victim]), pbKeyVPN(b.keys[victim]), b.readys[victim])
 	}
 	if b.onEvict != nil {
-		b.onEvict(b.ents[victim].tid, b.ents[victim].vpn)
+		b.onEvict(pbKeyTID(b.keys[victim]), pbKeyVPN(b.keys[victim]))
 	}
-	b.ents[victim] = pbEntry{vpn: vpn, tid: tid, pfn: pfn, token: token, ready: ready, used: b.tick, valid: true}
+	b.set(victim, k, pfn, token, ready)
+}
+
+func (b *PrefetchBuffer) set(i int, key uint64, pfn arch.PFN, token Token, ready arch.Cycle) {
+	b.keys[i] = key
+	b.pfns[i] = pfn
+	b.tokens[i] = token
+	b.readys[i] = ready
+	b.used[i] = b.tick
 }
 
 // SetEvictionHandler registers fn to be called whenever a valid entry is
@@ -150,9 +170,7 @@ func (b *PrefetchBuffer) SetProbe(p *telemetry.Probe) { b.probe = p }
 
 // Flush drops all entries (context switch).
 func (b *PrefetchBuffer) Flush() {
-	for i := range b.ents {
-		b.ents[i].valid = false
-	}
+	clear(b.keys)
 }
 
 // Lookups returns Lookup calls since the last ResetStats.
@@ -177,7 +195,5 @@ func (b *PrefetchBuffer) ResetStats() { b.lookups, b.hits, b.inserts, b.useless 
 // their absolute ready timestamps would read as far-future under the new
 // epoch and charge phantom late-prefetch stalls.
 func (b *PrefetchBuffer) Settle() {
-	for i := range b.ents {
-		b.ents[i].ready = 0
-	}
+	clear(b.readys)
 }

@@ -9,6 +9,62 @@ package tlbprefetch
 
 import "morrigan/internal/arch"
 
+// Token is a compact provenance value attached to a prefetch request. When a
+// PB entry created from the request later services a miss, the token is
+// handed back to the producing prefetcher via OnPrefetchHit so it can update
+// confidence. Packing provenance into one machine word (instead of the
+// former `any`) keeps the hot path free of per-prefetch boxing allocations.
+//
+// Layout: bits 0-1 hold the kind, bits 2-16 hold a DistanceBits-wide
+// two's-complement inter-page distance, and bits 17+ hold the producing VPN.
+// The zero Token (TokenNone) carries no provenance.
+type Token uint64
+
+// Token kinds (the low two bits of a Token).
+const (
+	// TokenNone is the zero token: no provenance.
+	TokenNone Token = iota
+	// TokenIRIP marks a prefetch produced by a Morrigan IRIP prediction
+	// slot; the distance and VPN fields identify the slot to credit.
+	TokenIRIP
+	// TokenSDP marks a prefetch produced by Morrigan's sampling distance
+	// prefetcher.
+	TokenSDP
+	// TokenICache marks a translation prefetched on behalf of the I-cache
+	// prefetcher crossing a page boundary (Section 3.5).
+	TokenICache
+)
+
+const (
+	tokenKindBits = 2
+	tokenDistMask = 1<<DistanceBits - 1
+	tokenVPNShift = tokenKindBits + DistanceBits
+)
+
+// PackToken builds a token from its kind, producing VPN and slot distance.
+// The distance is truncated to DistanceBits (its producers already saturate
+// within that range).
+func PackToken(kind Token, vpn arch.VPN, dist int32) Token {
+	return kind&3 |
+		Token(uint64(dist)&tokenDistMask)<<tokenKindBits |
+		Token(vpn)<<tokenVPNShift
+}
+
+// Kind returns the token's kind bits.
+func (t Token) Kind() Token { return t & 3 }
+
+// VPN returns the producing virtual page number packed into the token.
+func (t Token) VPN() arch.VPN { return arch.VPN(t >> tokenVPNShift) }
+
+// Dist returns the sign-extended inter-page distance packed into the token.
+func (t Token) Dist() int32 {
+	d := uint32(t>>tokenKindBits) & tokenDistMask
+	if d&(1<<(DistanceBits-1)) != 0 {
+		d |= ^uint32(tokenDistMask)
+	}
+	return int32(d)
+}
+
 // Request is one prefetch candidate produced by a prefetcher.
 type Request struct {
 	// VPN is the virtual page whose translation should be prefetched.
@@ -17,10 +73,8 @@ type Request struct {
 	// translations sharing the leaf PTE cache line be installed into the
 	// PB for free (page table locality; Section 2 of the paper).
 	Spatial bool
-	// Token is an opaque provenance value. When a PB entry created from
-	// this request later services a miss, the token is handed back to the
-	// producing prefetcher via OnPrefetchHit so it can update confidence.
-	Token any
+	// Token is the provenance handed back on a PB hit.
+	Token Token
 }
 
 // Prefetcher is an STLB prefetch engine invoked on the instruction STLB miss
@@ -34,10 +88,13 @@ type Prefetcher interface {
 	// OnMiss is invoked on every iSTLB miss (whether or not the PB served
 	// it), with the faulting instruction address and its page. It returns
 	// the prefetch candidates to issue and updates internal state.
+	// The returned slice is only valid until the next OnMiss call:
+	// implementations reuse an internal buffer to keep the miss path
+	// allocation-free.
 	OnMiss(tid arch.ThreadID, pc arch.VAddr, vpn arch.VPN) []Request
 	// OnPrefetchHit informs the prefetcher that a PB entry it produced
 	// eliminated a demand page walk; token is the Request's Token.
-	OnPrefetchHit(token any)
+	OnPrefetchHit(token Token)
 	// Flush clears all internal state (context switch).
 	Flush()
 }
@@ -55,7 +112,7 @@ func (None) StorageBits() int { return 0 }
 func (None) OnMiss(arch.ThreadID, arch.VAddr, arch.VPN) []Request { return nil }
 
 // OnPrefetchHit implements Prefetcher.
-func (None) OnPrefetchHit(any) {}
+func (None) OnPrefetchHit(Token) {}
 
 // Flush implements Prefetcher.
 func (None) Flush() {}

@@ -8,9 +8,10 @@ import (
 
 func TestPBLookupRemovesEntry(t *testing.T) {
 	pb := NewPrefetchBuffer(4, 2)
-	pb.Insert(0, 0x10, 0x99, "tok", 77)
+	tok := PackToken(TokenIRIP, 0x42, -3)
+	pb.Insert(0, 0x10, 0x99, tok, 77)
 	pfn, token, ready, ok := pb.Lookup(0, 0x10)
-	if !ok || pfn != 0x99 || token != "tok" || ready != 77 {
+	if !ok || pfn != 0x99 || token != tok || ready != 77 {
 		t.Fatalf("Lookup = %#x %v ready=%d %v", pfn, token, ready, ok)
 	}
 	if _, _, _, ok := pb.Lookup(0, 0x10); ok {
@@ -23,9 +24,9 @@ func TestPBLookupRemovesEntry(t *testing.T) {
 
 func TestPBLRUAndEvictionAccounting(t *testing.T) {
 	pb := NewPrefetchBuffer(2, 2)
-	pb.Insert(0, 1, 1, nil, 0)
-	pb.Insert(0, 2, 2, nil, 0)
-	pb.Insert(0, 3, 3, nil, 0) // evicts vpn 1 (LRU), never hit
+	pb.Insert(0, 1, 1, TokenNone, 0)
+	pb.Insert(0, 2, 2, TokenNone, 0)
+	pb.Insert(0, 3, 3, TokenNone, 0) // evicts vpn 1 (LRU), never hit
 	if pb.Contains(0, 1) {
 		t.Fatal("vpn 1 should be evicted")
 	}
@@ -39,8 +40,8 @@ func TestPBLRUAndEvictionAccounting(t *testing.T) {
 
 func TestPBThreadIsolationAndFlush(t *testing.T) {
 	pb := NewPrefetchBuffer(4, 2)
-	pb.Insert(0, 7, 0xA, nil, 0)
-	pb.Insert(1, 7, 0xB, nil, 0)
+	pb.Insert(0, 7, 0xA, TokenNone, 0)
+	pb.Insert(1, 7, 0xB, TokenNone, 0)
 	if pfn, _, _, ok := pb.Lookup(1, 7); !ok || pfn != 0xB {
 		t.Fatalf("thread 1 lookup = %#x %v", pfn, ok)
 	}
@@ -55,17 +56,18 @@ func TestPBThreadIsolationAndFlush(t *testing.T) {
 
 func TestPBInsertRefreshKeepsToken(t *testing.T) {
 	pb := NewPrefetchBuffer(2, 2)
-	pb.Insert(0, 5, 1, "orig", 0)
-	pb.Insert(0, 5, 2, "dup", 0)
+	orig := PackToken(TokenIRIP, 5, 1)
+	pb.Insert(0, 5, 1, orig, 0)
+	pb.Insert(0, 5, 2, PackToken(TokenSDP, 0, 0), 0)
 	_, token, _, ok := pb.Lookup(0, 5)
-	if !ok || token != "orig" {
-		t.Fatalf("token = %v, want orig", token)
+	if !ok || token != orig {
+		t.Fatalf("token = %#x, want the original token", uint64(token))
 	}
 }
 
 func TestPBResetStats(t *testing.T) {
 	pb := NewPrefetchBuffer(2, 2)
-	pb.Insert(0, 1, 1, nil, 0)
+	pb.Insert(0, 1, 1, TokenNone, 0)
 	pb.Lookup(0, 1)
 	pb.ResetStats()
 	if pb.Hits() != 0 || pb.Lookups() != 0 || pb.Inserts() != 0 || pb.Evictions() != 0 {
@@ -92,7 +94,7 @@ func TestNonePrefetcher(t *testing.T) {
 	if reqs := n.OnMiss(0, 1, 1); reqs != nil {
 		t.Fatal("None must not prefetch")
 	}
-	n.OnPrefetchHit(nil)
+	n.OnPrefetchHit(TokenNone)
 	n.Flush()
 }
 
@@ -299,15 +301,15 @@ func TestPBEvictionHandler(t *testing.T) {
 	pb.SetEvictionHandler(func(tid arch.ThreadID, vpn arch.VPN) {
 		evicted = append(evicted, vpn)
 	})
-	pb.Insert(0, 1, 1, nil, 0)
-	pb.Insert(0, 2, 2, nil, 0)
-	pb.Insert(0, 3, 3, nil, 0) // displaces vpn 1, never hit
+	pb.Insert(0, 1, 1, TokenNone, 0)
+	pb.Insert(0, 2, 2, TokenNone, 0)
+	pb.Insert(0, 3, 3, TokenNone, 0) // displaces vpn 1, never hit
 	if len(evicted) != 1 || evicted[0] != 1 {
 		t.Fatalf("evicted = %v, want [1]", evicted)
 	}
 	// An entry that hit is removed by Lookup, not evicted: no callback.
 	pb.Lookup(0, 2)
-	pb.Insert(0, 4, 4, nil, 0) // fills the freed slot
+	pb.Insert(0, 4, 4, TokenNone, 0) // fills the freed slot
 	if len(evicted) != 1 {
 		t.Fatalf("hit-then-remove should not trigger eviction handler: %v", evicted)
 	}

@@ -56,6 +56,23 @@ type BatchReader interface {
 // ErrCorrupt reports a malformed trace file.
 var ErrCorrupt = errors.New("trace: corrupt trace file")
 
+// Fill reads up to len(dst) records from r into dst, using the bulk
+// interface when r supports it and a per-record loop otherwise, so batching
+// consumers can buffer ahead of any Reader. Unlike NextBatch, Fill may
+// return n > 0 together with a non-nil error (a plain reader failing
+// mid-fill): callers must consume the n records before acting on the error.
+func Fill(r Reader, dst []Record) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(dst)
+	}
+	for i := range dst {
+		if err := r.Next(&dst[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(dst), nil
+}
+
 // Limit wraps r so that it yields at most n records. When r is a
 // BatchReader the returned Reader is one too, so batching survives the wrap.
 func Limit(r Reader, n uint64) Reader {

@@ -205,7 +205,7 @@ func ScaledPrefetcherConfig(factor float64) PrefetcherConfig { return core.Scale
 // Baseline dSTLB prefetchers (Section 2.1).
 
 // NewSP returns the Sequential Prefetcher.
-func NewSP() Prefetcher { return tlbprefetch.SP{} }
+func NewSP() Prefetcher { return &tlbprefetch.SP{} }
 
 // NewASP returns the Arbitrary Stride Prefetcher with the given table size.
 func NewASP(entries int) Prefetcher { return tlbprefetch.NewASP(entries) }
